@@ -1,0 +1,99 @@
+//! End-to-end macro benchmarks: full cluster simulation throughput per
+//! scheme (one group per evaluation table), plus trace synthesis.
+//!
+//! These are the numbers that determine how long the paper-scale figure
+//! regeneration takes: simulated-seconds-per-wall-second for each
+//! scheme's control loop.
+
+use antidope::{run_experiment, ExperimentConfig, SchemeKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dope_bench::scenarios;
+use powercap::BudgetLevel;
+use simcore::SimTime;
+use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
+use workloads::service::ServiceKind;
+
+fn bench_full_sim_per_scheme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim_10s");
+    g.sample_size(10);
+    for scheme in [
+        SchemeKind::None,
+        SchemeKind::Capping,
+        SchemeKind::Shaving,
+        SchemeKind::Token,
+        SchemeKind::AntiDope,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    black_box(scenarios::run_standard(
+                        scheme,
+                        BudgetLevel::Medium,
+                        ServiceKind::CollaFilt,
+                        600.0,
+                        10,
+                        42,
+                        true,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trace_synthesis(c: &mut Criterion) {
+    c.bench_function("alibaba_trace_synthesize_paper", |b| {
+        b.iter(|| {
+            black_box(UtilizationTrace::synthesize(
+                &AlibabaTraceConfig::paper_default(),
+            ))
+        })
+    });
+}
+
+fn bench_arrival_generation(c: &mut Criterion) {
+    c.bench_function("normal_users_generate_60s", |b| {
+        b.iter(|| {
+            let mut src = scenarios::normal_users(7, SimTime::from_secs(60));
+            let mut n = 0u64;
+            let mut last = SimTime::ZERO;
+            while let Some(r) = workloads::source::TrafficSource::next_request(&mut *src, last) {
+                last = r.arrival;
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_matrix_cell(c: &mut Criterion) {
+    // One (scheme, budget) evaluation cell at figure fidelity but a
+    // short window — the unit the fig16/17/19 matrix parallelizes over.
+    let mut g = c.benchmark_group("eval_matrix_cell_30s");
+    g.sample_size(10);
+    g.bench_function("antidope_medium", |b| {
+        let exp = scenarios::experiment(SchemeKind::AntiDope, BudgetLevel::Medium, 30, 42, true);
+        b.iter(|| {
+            black_box(run_experiment(&exp, &|e: &ExperimentConfig| {
+                let horizon = SimTime::ZERO + e.duration;
+                vec![
+                    scenarios::normal_users(e.seed, horizon),
+                    scenarios::service_attack(ServiceKind::CollaFilt, 600.0, e.seed, horizon),
+                ]
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_sim_per_scheme,
+    bench_trace_synthesis,
+    bench_arrival_generation,
+    bench_matrix_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the metrics substrate: the histogram and quantile
+//! estimators every per-request record path touches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcmetrics::{Ecdf, LatencyHistogram, OnlineSummary, P2Quantile};
+use simcore::rng::SimRng;
+
+fn samples(n: usize) -> Vec<f64> {
+    let mut rng = SimRng::new(7);
+    (0..n).map(|_| 1e-3 + rng.unit_f64() * 0.5).collect()
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let xs = samples(100_000);
+    let mut g = c.benchmark_group("metrics");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("latency_histogram_record_100k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::for_latency_secs();
+            for &x in &xs {
+                h.record(x);
+            }
+            black_box(h.p90())
+        })
+    });
+    g.bench_function("p2_quantile_record_100k", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.9);
+            for &x in &xs {
+                q.record(x);
+            }
+            black_box(q.estimate())
+        })
+    });
+    g.bench_function("welford_record_100k", |b| {
+        b.iter(|| {
+            let mut s = OnlineSummary::new();
+            for &x in &xs {
+                s.record(x);
+            }
+            black_box(s.std_dev())
+        })
+    });
+    g.bench_function("ecdf_build_and_query_10k", |b| {
+        let small = &xs[..10_000];
+        b.iter(|| {
+            let mut e = Ecdf::from_samples(small.iter().copied());
+            black_box(e.curve(0.0, 0.6, 64))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

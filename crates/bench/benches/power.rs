@@ -1,0 +1,94 @@
+//! Benchmarks of the power-management decision paths: the server power
+//! model, the DPM throttling search (Algorithm 1), and the Eq (1)
+//! request-control solver — the per-slot cost of each scheme.
+
+use antidope::dpm::{self, NodeState};
+use antidope::request_control::{class_from_profile, solve};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use powercap::capper::{ServerLoad, UniformCapper};
+use powercap::pstate::PState;
+use powercap::server_power::ServerPowerModel;
+
+fn bench_power_model(c: &mut Criterion) {
+    let m = ServerPowerModel::paper_default();
+    c.bench_function("server_power_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..13u8 {
+                acc += m.power(black_box(PState(i)), 0.8, 0.9, 0.7);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("state_for_cap", |b| {
+        b.iter(|| black_box(m.state_for_cap(black_box(72.5), 0.95, 0.6)))
+    });
+}
+
+fn nodes(n: usize) -> Vec<NodeState> {
+    (0..n)
+        .map(|i| NodeState {
+            utilization: 0.3 + 0.6 * (i as f64 / n as f64),
+            intensity: 0.9,
+            gamma: if i % 2 == 0 { 0.85 } else { 0.4 },
+            beta: if i % 2 == 0 { 0.9 } else { 0.4 },
+            current: PState(12),
+            suspect: i >= n - n / 4 - 1,
+        })
+        .collect()
+}
+
+fn bench_dpm(c: &mut Criterion) {
+    let m = ServerPowerModel::paper_default();
+    let mut g = c.benchmark_group("dpm_solve");
+    for &n in &[4usize, 16, 64, 256] {
+        let ns = nodes(n);
+        let budget = n as f64 * 70.0; // forces a real search
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(dpm::solve(&m, budget, &ns)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_request_control(c: &mut Criterion) {
+    let table = powercap::PStateTable::paper_default();
+    let classes: Vec<_> = (0..8)
+        .map(|i| {
+            class_from_profile(
+                5.0 + i as f64,
+                &table,
+                60.0,
+                0.5 + 0.05 * i as f64,
+                0.3 + 0.08 * i as f64,
+                0.2 + 0.09 * i as f64,
+            )
+        })
+        .collect();
+    c.bench_function("request_control_solve_8cls", |b| {
+        b.iter(|| black_box(solve(black_box(180.0), &classes)))
+    });
+}
+
+fn bench_uniform_capper(c: &mut Criterion) {
+    let capper = UniformCapper::new(ServerPowerModel::paper_default());
+    let loads: Vec<ServerLoad> = (0..64)
+        .map(|i| ServerLoad {
+            utilization: (i as f64 / 64.0),
+            intensity: 0.9,
+            gamma: 0.8,
+        })
+        .collect();
+    c.bench_function("uniform_capper_64_nodes", |b| {
+        b.iter(|| black_box(capper.state_for_budget(black_box(4200.0), &loads)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_power_model,
+    bench_dpm,
+    bench_request_control,
+    bench_uniform_capper
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks of the network substrate hot paths: processor-sharing
+//! queue churn, token buckets, and firewall inspection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netsim::firewall::{Firewall, FirewallConfig};
+use netsim::queueing::PsServer;
+use netsim::request::{RequestBuilder, SourceId, UrlId};
+use netsim::token_bucket::{PowerTokenBucket, TokenBucket};
+use simcore::SimTime;
+
+fn bench_ps_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ps_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_complete_cycle_10k", |b| {
+        b.iter(|| {
+            let mut srv = PsServer::new(SimTime::ZERO, 4, 2.4, 64);
+            let mut builder = RequestBuilder::new();
+            let mut now = SimTime::ZERO;
+            let mut done = 0u64;
+            for i in 0..10_000u64 {
+                let arrival = SimTime::from_micros(i * 100);
+                let req = builder.build(
+                    UrlId(0),
+                    SourceId(0),
+                    arrival,
+                    0.0002, // light request: keeps the queue shallow
+                    0.8,
+                    0.8,
+                    0.8,
+                    false,
+                );
+                now = arrival.max(now);
+                srv.push(now, req);
+                while let Some((eta, id)) = srv.next_completion() {
+                    if eta > arrival {
+                        break;
+                    }
+                    if srv.try_complete(eta, id).is_some() {
+                        done += 1;
+                        now = eta.max(now);
+                    }
+                }
+            }
+            black_box(done)
+        })
+    });
+    g.finish();
+}
+
+fn bench_token_buckets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_bucket");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("classic_100k", |b| {
+        b.iter(|| {
+            let mut tb = TokenBucket::new(SimTime::ZERO, 1000.0, 100.0);
+            let mut ok = 0u64;
+            for i in 0..100_000u64 {
+                if tb.try_consume(SimTime::from_micros(i * 10), 1.0) {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.bench_function("power_100k", |b| {
+        b.iter(|| {
+            let mut tb = PowerTokenBucket::new(SimTime::ZERO, 240.0, 2.0);
+            let mut ok = 0u64;
+            for i in 0..100_000u64 {
+                if tb.admit(SimTime::from_micros(i * 10), 2.2) {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.finish();
+}
+
+fn bench_firewall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("firewall");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("inspect_100k_64_sources", |b| {
+        b.iter(|| {
+            let mut fw = Firewall::new(SimTime::ZERO, FirewallConfig::default());
+            let mut passed = 0u64;
+            for i in 0..100_000u64 {
+                let src = SourceId((i % 64) as u32);
+                let t = SimTime::from_micros(i * 20);
+                if fw.inspect(t, src) == netsim::firewall::FirewallVerdict::Pass {
+                    passed += 1;
+                }
+            }
+            black_box(passed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ps_queue, bench_token_buckets, bench_firewall);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! experiments [IDS...] [--out DIR] [--quick] [--seed N] [--list]
+//!
+//!   IDS      experiment ids (table1 table2 fig3 ... fig19), or "all"
+//!   --out    output directory for CSVs   [default: target/experiments]
+//!   --quick  shorter windows / coarser sweeps (CI mode)
+//!   --seed   master seed                 [default: 2019]
+//!   --list   print known ids and exit
+//! ```
+//!
+//! Every figure prints its tables to stdout and writes one CSV per
+//! plotted series under `--out`.
+
+use dope_bench::{emit, figures, RunMode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out = PathBuf::from("target/experiments");
+    let mut quick = false;
+    let mut plots = false;
+    let mut seed = 2019u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out = PathBuf::from(dir);
+            }
+            "--quick" => quick = true,
+            "--plots" => plots = true,
+            "--seed" => {
+                i += 1;
+                let Some(s) = args.get(i) else {
+                    eprintln!("--seed needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match s.parse() {
+                    Ok(v) => seed = v,
+                    Err(_) => {
+                        eprintln!("bad seed: {s}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--list" => {
+                for id in figures::ALL_IDS {
+                    println!("{id}");
+                }
+                println!("fig19 (alias of fig16: shared run matrix)");
+                for id in figures::ABLATION_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [IDS...|all|ablations] [--out DIR] [--quick] [--plots] [--seed N] [--list]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() || ids.iter().any(|s| s == "all") {
+        ids = figures::ALL_IDS.iter().map(|s| s.to_string()).collect();
+        // fig17 shares fig16's generator; drop the duplicate run.
+        ids.retain(|s| s != "fig17");
+    }
+    if let Some(pos) = ids.iter().position(|s| s == "ablations") {
+        ids.remove(pos);
+        ids.extend(figures::ABLATION_IDS.iter().map(|s| s.to_string()));
+    }
+
+    let mode = if quick {
+        RunMode::quick(seed)
+    } else {
+        RunMode::full(seed)
+    };
+
+    let started = std::time::Instant::now();
+    for id in &ids {
+        println!("==> {id} ({})", if quick { "quick" } else { "full" });
+        match figures::run(id, mode) {
+            Some(tables) => {
+                emit(&out, id, &tables);
+                if plots {
+                    match dope_bench::plots::write_gnuplot(&out, id) {
+                        Ok(Some(p)) => println!("[gnuplot] {}", p.display()),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("plot script for {id} failed: {e}"),
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "completed {} experiment(s) in {:.1}s, CSVs under {}",
+        ids.len(),
+        started.elapsed().as_secs_f64(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,516 @@
+//! Ablation studies beyond the paper — the design-choice sweeps
+//! DESIGN.md §8 calls out. Each isolates one knob of Anti-DOPE or its
+//! operating environment.
+
+use crate::scenarios::{self, normal_users, service_attack};
+use crate::RunMode;
+use antidope::cluster::ClusterSim;
+use antidope::scheme::AntiDopeScheme;
+use antidope::{run_experiment, ClusterConfig, ExperimentConfig, SchemeKind, SimReport};
+use dcmetrics::export::Table;
+use powercap::BudgetLevel;
+use rayon::prelude::*;
+use simcore::{SimDuration, SimTime};
+use workloads::attacker::{AttackTool, FloodSource};
+use workloads::dope::{DopeAttacker, DopeConfig};
+use workloads::service::ServiceKind;
+use workloads::source::TrafficSource;
+
+fn standard_sources(exp: &ExperimentConfig, attack_rate: f64) -> Vec<Box<dyn TrafficSource>> {
+    let horizon = SimTime::ZERO + exp.duration;
+    vec![
+        normal_users(exp.seed, horizon),
+        service_attack(ServiceKind::CollaFilt, attack_rate, exp.seed, horizon),
+    ]
+}
+
+fn report_row(t: &mut Table, label: &str, r: &SimReport) {
+    t.push_row(vec![
+        label.to_string(),
+        Table::fmt_f64(r.normal_latency.mean_ms),
+        Table::fmt_f64(r.normal_latency.p90_ms),
+        format!("{:.1}%", r.availability() * 100.0),
+        format!("{:.1}%", r.normal_sla.drop_rate() * 100.0),
+        Table::fmt_f64(r.power.peak_w),
+        r.power.violations.to_string(),
+    ]);
+}
+
+fn result_header(title: &str) -> Table {
+    Table::new(
+        title,
+        &[
+            "variant",
+            "mean_ms",
+            "p90_ms",
+            "availability",
+            "legit_drop",
+            "peak_W",
+            "violations",
+        ],
+    )
+}
+
+/// `abl-framework`: which half of Anti-DOPE carries the benefit?
+pub fn framework(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let kinds = [
+        SchemeKind::Capping,
+        SchemeKind::PdfOnly,
+        SchemeKind::RpmOnly,
+        SchemeKind::AntiDope,
+    ];
+    let reports: Vec<(SchemeKind, SimReport)> = kinds
+        .par_iter()
+        .map(|&k| {
+            let exp = scenarios::experiment(k, BudgetLevel::Medium, secs, mode.seed, true);
+            (k, run_experiment(&exp, &|e: &ExperimentConfig| standard_sources(e, 390.0)))
+        })
+        .collect();
+    let mut t = result_header(
+        "Ablation: PDF-only vs RPM-only vs full Anti-DOPE (Medium-PB, 390 req/s Colla-Filt)",
+    );
+    for (k, r) in &reports {
+        report_row(&mut t, k.name(), r);
+    }
+    vec![t]
+}
+
+/// `abl-threshold`: suspicion-threshold sweep — classification scope vs
+/// collateral damage.
+pub fn threshold(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let thresholds = [0.30, 0.50, 0.70, 0.80, 0.95];
+    let reports: Vec<(f64, SimReport, u64)> = thresholds
+        .par_iter()
+        .map(|&th| {
+            let exp = scenarios::experiment(
+                SchemeKind::AntiDope,
+                BudgetLevel::Medium,
+                secs,
+                mode.seed,
+                true,
+            );
+            let scheme = Box::new(AntiDopeScheme::with_threshold(&exp.cluster, th));
+            let r = ClusterSim::run_with_scheme(&exp, scheme, standard_sources(&exp, 390.0));
+            let to_pool = r.traffic.to_suspect_pool;
+            (th, r, to_pool)
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: suspect-threshold sweep (Anti-DOPE, Medium-PB)",
+        &[
+            "threshold",
+            "to_suspect_pool",
+            "mean_ms",
+            "p90_ms",
+            "availability",
+            "violations",
+        ],
+    );
+    for (th, r, pool) in &reports {
+        t.push_row(vec![
+            format!("{th:.2}"),
+            pool.to_string(),
+            Table::fmt_f64(r.normal_latency.mean_ms),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            format!("{:.1}%", r.availability() * 100.0),
+            r.power.violations.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-pool`: suspect-pool size on the 16-node scaled cluster —
+/// isolation capacity vs innocent capacity.
+pub fn pool(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let sizes = [1usize, 2, 4, 6, 8];
+    let reports: Vec<(usize, SimReport)> = sizes
+        .par_iter()
+        .map(|&size| {
+            let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+            cluster.suspect_pool_size = size;
+            let mut exp =
+                ExperimentConfig::paper_window(cluster, SchemeKind::AntiDope, mode.seed);
+            exp.duration = SimDuration::from_secs(secs);
+            // Attack scaled to the 16-node cluster (4× the rack attack).
+            (
+                size,
+                run_experiment(&exp, &|e: &ExperimentConfig| standard_sources(e, 1560.0)),
+            )
+        })
+        .collect();
+    let mut t = result_header(
+        "Ablation: suspect-pool size on a 16-node cluster (Anti-DOPE, Medium-PB, 1560 req/s)",
+    );
+    for (size, r) in &reports {
+        report_row(&mut t, &format!("{size} of 16 nodes"), r);
+    }
+    vec![t]
+}
+
+/// `abl-slot`: control-slot length — responsiveness vs overhead.
+pub fn slot(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let slots_ms = [200u64, 500, 1000, 2000, 5000];
+    let cells: Vec<(SchemeKind, u64)> = [SchemeKind::Capping, SchemeKind::AntiDope]
+        .iter()
+        .flat_map(|&s| slots_ms.iter().map(move |&m| (s, m)))
+        .collect();
+    let reports: Vec<(SchemeKind, u64, SimReport)> = cells
+        .par_iter()
+        .map(|&(scheme, ms)| {
+            let mut exp =
+                scenarios::experiment(scheme, BudgetLevel::Medium, secs, mode.seed, true);
+            exp.cluster.control_slot = SimDuration::from_millis(ms);
+            (
+                scheme,
+                ms,
+                run_experiment(&exp, &|e: &ExperimentConfig| standard_sources(e, 390.0)),
+            )
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: control-slot length (Medium-PB, 390 req/s)",
+        &[
+            "scheme",
+            "slot_ms",
+            "p90_ms",
+            "violations",
+            "violation_fraction",
+            "dvfs_transitions",
+        ],
+    );
+    for (scheme, ms, r) in &reports {
+        t.push_row(vec![
+            scheme.name().to_string(),
+            ms.to_string(),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            r.power.violations.to_string(),
+            Table::fmt_f64(r.power.violation_fraction),
+            r.vf.transitions.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-firewall`: perimeter threshold vs the width of the DOPE region
+/// (maximum undetected aggregate rate for a 40-bot attacker).
+pub fn firewall(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs();
+    let thresholds = [50.0, 100.0, 150.0, 300.0, 600.0];
+    let rates = [200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0];
+    let cells: Vec<(f64, f64)> = thresholds
+        .iter()
+        .flat_map(|&t| rates.iter().map(move |&r| (t, r)))
+        .collect();
+    let reports: Vec<(f64, f64, SimReport)> = cells
+        .par_iter()
+        .map(|&(th, rate)| {
+            let mut exp =
+                scenarios::experiment(SchemeKind::None, BudgetLevel::Medium, secs, mode.seed, true);
+            exp.cluster.firewall_threshold_rps = th;
+            (
+                th,
+                rate,
+                run_experiment(&exp, &move |e: &ExperimentConfig| standard_sources(e, rate)),
+            )
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: firewall threshold vs DOPE region (40 bots, unmanaged, Medium-PB)",
+        &["threshold_rps", "max_undetected_rps", "min_violating_rps", "region_width"],
+    );
+    for &th in &thresholds {
+        let max_undetected = reports
+            .iter()
+            .filter(|(t2, _, r)| *t2 == th && r.traffic.firewall_blocked == 0)
+            .map(|(_, rate, _)| *rate)
+            .fold(0.0, f64::max);
+        let min_violating = reports
+            .iter()
+            .filter(|(t2, _, r)| *t2 == th && r.power.violation_fraction > 0.05)
+            .map(|(_, rate, _)| *rate)
+            .fold(f64::INFINITY, f64::min);
+        let width = if max_undetected >= min_violating {
+            format!("{:.0}–{:.0} rps", min_violating, max_undetected)
+        } else {
+            "closed".to_string()
+        };
+        t.push_row(vec![
+            format!("{th:.0}"),
+            format!("{max_undetected:.0}"),
+            if min_violating.is_finite() {
+                format!("{min_violating:.0}")
+            } else {
+                "-".into()
+            },
+            width,
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-scale`: the headline comparison on a 16-node cluster.
+pub fn scale(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let reports: Vec<(SchemeKind, SimReport)> = SchemeKind::EVALUATED
+        .par_iter()
+        .map(|&k| {
+            let mut exp = ExperimentConfig::paper_window(
+                ClusterConfig::scaled(BudgetLevel::Medium),
+                k,
+                mode.seed,
+            );
+            exp.duration = SimDuration::from_secs(secs);
+            (
+                k,
+                run_experiment(&exp, &|e: &ExperimentConfig| {
+                    let horizon = SimTime::ZERO + e.duration;
+                    vec![
+                        // 4× the rack's normal population and attack.
+                        Box::new(workloads::normal::NormalUsers::new(
+                            workloads::alibaba::UtilizationTrace::synthesize(
+                                &workloads::alibaba::AlibabaTraceConfig::small(e.seed),
+                            ),
+                            workloads::service::ServiceMix::alios_normal(),
+                            320.0,
+                            1_000,
+                            240,
+                            0,
+                            horizon,
+                            e.seed,
+                        )) as Box<dyn TrafficSource>,
+                        service_attack(ServiceKind::CollaFilt, 1560.0, e.seed, horizon),
+                    ]
+                }),
+            )
+        })
+        .collect();
+    let mut t = result_header(
+        "Ablation: 16-node cluster, Medium-PB, 1560 req/s Colla-Filt DOPE",
+    );
+    for (k, r) in &reports {
+        report_row(&mut t, k.name(), r);
+    }
+    vec![t]
+}
+
+/// `abl-tools`: attack-tool comparison — open-loop http-load vs
+/// closed-loop ApacheBench vs the adaptive DOPE attacker.
+pub fn tools(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let mk_sources = |tool: &'static str,
+                      exp: &ExperimentConfig|
+     -> Vec<Box<dyn TrafficSource>> {
+        let horizon = SimTime::ZERO + exp.duration;
+        let mut v = vec![normal_users(exp.seed, horizon)];
+        let attack: Box<dyn TrafficSource> = match tool {
+            "http-load" => Box::new(FloodSource::against_service(
+                AttackTool::HttpLoad { rate: 390.0 },
+                ServiceKind::CollaFilt,
+                50_000,
+                scenarios::BOTS,
+                1 << 40,
+                SimTime::from_secs(5),
+                horizon,
+                exp.seed ^ 0x5EED,
+            )),
+            "apache-bench" => Box::new(FloodSource::against_service(
+                // Closed loop: ~14 outstanding ≈ 390 req/s at 35 ms each
+                // when the victim is healthy; self-throttles when not.
+                AttackTool::ApacheBench { concurrency: 14 },
+                ServiceKind::CollaFilt,
+                50_000,
+                scenarios::BOTS,
+                1 << 40,
+                SimTime::from_secs(5),
+                horizon,
+                exp.seed ^ 0x5EED,
+            )),
+            "dope-adaptive" => Box::new(DopeAttacker::new(
+                DopeConfig {
+                    victim: ServiceKind::CollaFilt,
+                    initial_rate: 50.0,
+                    bots: scenarios::BOTS,
+                    max_rate: 800.0,
+                    ..DopeConfig::default()
+                },
+                50_000,
+                1 << 40,
+                SimTime::from_secs(5),
+                horizon,
+                exp.seed ^ 0xD09E,
+            )),
+            _ => unreachable!(),
+        };
+        v.push(attack);
+        v
+    };
+    let tools = ["http-load", "apache-bench", "dope-adaptive"];
+    let reports: Vec<(&str, SimReport)> = tools
+        .par_iter()
+        .map(|&tool| {
+            let exp = scenarios::experiment(
+                SchemeKind::Capping,
+                BudgetLevel::Medium,
+                secs,
+                mode.seed,
+                true,
+            );
+            (
+                tool,
+                run_experiment(&exp, &move |e: &ExperimentConfig| mk_sources(tool, e)),
+            )
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: attack tools (Capping, Medium-PB)",
+        &[
+            "tool",
+            "attack_served",
+            "normal_p90_ms",
+            "peak_W",
+            "violations",
+            "firewall_blocked",
+        ],
+    );
+    for (tool, r) in &reports {
+        t.push_row(vec![
+            tool.to_string(),
+            (r.attack_sla.on_time() + r.attack_sla.late()).to_string(),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            Table::fmt_f64(r.power.peak_w),
+            r.power.violations.to_string(),
+            r.traffic.firewall_blocked.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-thermal`: the cooling layer — DOPE heats the room even when
+/// power never violates. At Normal-PB no power scheme intervenes, so
+/// thermal protection is the only backstop: the attack drives PROCHOT
+/// cycling on every node it reaches; Anti-DOPE confines the heat to the
+/// suspect pool.
+pub fn thermal(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(240); // a few thermal time constants
+    let kinds = [SchemeKind::None, SchemeKind::Capping, SchemeKind::AntiDope];
+    let reports: Vec<(SchemeKind, SimReport)> = kinds
+        .par_iter()
+        .map(|&k| {
+            let mut exp = scenarios::experiment(k, BudgetLevel::Normal, secs, mode.seed, true);
+            exp.cluster.thermal = true;
+            (
+                k,
+                run_experiment(&exp, &|e: &ExperimentConfig| standard_sources(e, 600.0)),
+            )
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: thermal protection under DOPE (Normal-PB — power never violates)",
+        &[
+            "scheme",
+            "peak_temp_C",
+            "prochot_events",
+            "tripped_nodes",
+            "normal_p90_ms",
+        ],
+    );
+    for (k, r) in &reports {
+        t.push_row(vec![
+            k.name().to_string(),
+            Table::fmt_f64(r.thermal.peak_temp_c),
+            r.thermal.prochot_events.to_string(),
+            r.thermal.tripped_nodes.to_string(),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-seeds`: seed-robustness of the headline conclusion — the Fig
+/// 16/17 orderings must hold for any seed, not one lucky draw.
+pub fn seeds(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let seeds = [2019u64, 7, 42, 1337, 90210];
+    let rows: Vec<(u64, f64, f64, bool)> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let reports = crate::scenarios::eval_matrix(secs, seed);
+            // scheme-major: Capping=0, Shaving=1, Token=2, Anti-DOPE=3;
+            // budgets Normal..Low = 0..3.
+            let get = |s: usize, b: usize| &reports[s * 4 + b];
+            let mut mean_impr = 0.0;
+            let mut p90_impr = 0.0;
+            let mut ordering_holds = true;
+            for bi in 1..4 {
+                let base_mean = (get(0, bi).normal_latency.mean_ms
+                    + get(1, bi).normal_latency.mean_ms)
+                    / 2.0;
+                let base_p90 =
+                    (get(0, bi).normal_latency.p90_ms + get(1, bi).normal_latency.p90_ms) / 2.0;
+                mean_impr += 1.0 - get(3, bi).normal_latency.mean_ms / base_mean;
+                p90_impr += 1.0 - get(3, bi).normal_latency.p90_ms / base_p90;
+                // The paper's qualitative ordering per budget: Anti-DOPE
+                // beats Capping on p90.
+                if get(3, bi).normal_latency.p90_ms >= get(0, bi).normal_latency.p90_ms {
+                    ordering_holds = false;
+                }
+            }
+            (seed, mean_impr / 3.0, p90_impr / 3.0, ordering_holds)
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: headline robustness across seeds (Anti-DOPE vs Capping/Shaving mean)",
+        &["seed", "mean_improvement", "p90_improvement", "p90_ordering_holds"],
+    );
+    for (seed, m, p, ok) in &rows {
+        t.push_row(vec![
+            seed.to_string(),
+            format!("{:.1}%", m * 100.0),
+            format!("{:.1}%", p * 100.0),
+            ok.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-breaker`: the Fig-1 motivation end-to-end — with a real breaker,
+/// unmanaged DOPE becomes an unplanned outage; Anti-DOPE prevents it.
+pub fn breaker(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let kinds = [SchemeKind::None, SchemeKind::Capping, SchemeKind::AntiDope];
+    let reports: Vec<(SchemeKind, SimReport)> = kinds
+        .par_iter()
+        .map(|&k| {
+            let mut exp =
+                scenarios::experiment(k, BudgetLevel::Medium, secs, mode.seed, true);
+            exp.cluster.breaker = true;
+            exp.cluster.breaker_rating_factor = 1.05;
+            exp.cluster.breaker_trip_delay = SimDuration::from_secs(30);
+            (
+                k,
+                run_experiment(&exp, &|e: &ExperimentConfig| standard_sources(e, 600.0)),
+            )
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: circuit breaker armed (Medium-PB, 600 req/s DOPE, trip delay 30 s)",
+        &["scheme", "outage_at_s", "availability", "peak_W", "violations"],
+    );
+    for (k, r) in &reports {
+        t.push_row(vec![
+            k.name().to_string(),
+            r.power
+                .outage_at_s
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "survived".into()),
+            format!("{:.1}%", r.availability() * 100.0),
+            Table::fmt_f64(r.power.peak_w),
+            r.power.violations.to_string(),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,53 @@
+//! Figure 8 — service time per traffic type under capping: Colla-Filt
+//! and K-means arouse the most serious degradation.
+
+use crate::scenarios::run_standard;
+use crate::RunMode;
+use antidope::SchemeKind;
+use dcmetrics::export::Table;
+use powercap::BudgetLevel;
+use rayon::prelude::*;
+use workloads::service::ServiceKind;
+
+/// Generate the Fig 8 data.
+pub fn run(mode: RunMode) -> Vec<Table> {
+    let rate = 500.0;
+    let budgets = [BudgetLevel::Medium, BudgetLevel::Low];
+    let cells: Vec<(ServiceKind, BudgetLevel)> = ServiceKind::ALL
+        .iter()
+        .flat_map(|&k| budgets.iter().map(move |&b| (k, b)))
+        .collect();
+    let reports: Vec<_> = cells
+        .par_iter()
+        .map(|&(k, b)| {
+            (
+                k,
+                b,
+                run_standard(
+                    SchemeKind::Capping,
+                    b,
+                    k,
+                    rate,
+                    mode.cell_secs(),
+                    mode.seed,
+                    false,
+                ),
+            )
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Fig 8: normal-user service time by attack traffic type (Capping, 500 req/s)",
+        &["attack_type", "budget", "mean_ms", "p90_ms", "mean_vf_steps"],
+    );
+    for (k, b, rep) in &reports {
+        t.push_row(vec![
+            k.name().into(),
+            b.name().into(),
+            Table::fmt_f64(rep.normal_latency.mean_ms),
+            Table::fmt_f64(rep.normal_latency.p90_ms),
+            Table::fmt_f64(rep.vf.mean_reduction_steps),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,76 @@
+//! One module per paper table/figure. Each exposes
+//! `run(mode) -> Vec<Table>`; the returned tables are what the paper
+//! plots, as data.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig15;
+pub mod fig16_17_19;
+pub mod fig18;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_9;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+
+use crate::RunMode;
+use dcmetrics::export::Table;
+
+/// Every paper experiment id, in paper order.
+pub const ALL_IDS: [&str; 16] = [
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig15", "fig16", "fig17", "fig18",
+];
+// fig19 shares its runs with fig16/fig17 and is produced by "fig16",
+// "fig17", or "fig19" (all dispatch into fig16_17_19).
+
+/// Ablation studies beyond the paper (DESIGN.md §8).
+pub const ABLATION_IDS: [&str; 10] = [
+    "abl-framework",
+    "abl-threshold",
+    "abl-pool",
+    "abl-slot",
+    "abl-firewall",
+    "abl-scale",
+    "abl-tools",
+    "abl-breaker",
+    "abl-thermal",
+    "abl-seeds",
+];
+
+/// Dispatch one experiment id. Returns `None` for an unknown id.
+pub fn run(id: &str, mode: RunMode) -> Option<Vec<Table>> {
+    Some(match id {
+        "table1" => table1::run(mode),
+        "table2" => table2::run(mode),
+        "fig3" => fig3::run(mode),
+        "fig4" => fig4::run(mode),
+        "fig5" => fig5::run(mode),
+        "fig6" => fig6::run(mode),
+        "fig7" => fig7_9::run_fig7(mode),
+        "fig8" => fig8::run(mode),
+        "fig9" => fig7_9::run_fig9(mode),
+        "fig10" => fig10::run(mode),
+        "fig11" => fig11::run(mode),
+        "fig12" => fig12::run(mode),
+        "fig15" => fig15::run(mode),
+        "fig16" | "fig17" | "fig19" => fig16_17_19::run(mode),
+        "fig18" => fig18::run(mode),
+        "abl-framework" => ablations::framework(mode),
+        "abl-threshold" => ablations::threshold(mode),
+        "abl-pool" => ablations::pool(mode),
+        "abl-slot" => ablations::slot(mode),
+        "abl-firewall" => ablations::firewall(mode),
+        "abl-scale" => ablations::scale(mode),
+        "abl-tools" => ablations::tools(mode),
+        "abl-breaker" => ablations::breaker(mode),
+        "abl-thermal" => ablations::thermal(mode),
+        "abl-seeds" => ablations::seeds(mode),
+        _ => return None,
+    })
+}

@@ -1,0 +1,131 @@
+//! Shared scenario construction for figures and benches.
+
+use antidope::{run_experiment, ClusterConfig, ExperimentConfig, SchemeKind, SimReport};
+use powercap::BudgetLevel;
+use simcore::{SimDuration, SimTime};
+use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
+use workloads::attacker::{AttackTool, FloodSource};
+use workloads::floods::FloodKind;
+use workloads::normal::NormalUsers;
+use workloads::service::{ServiceKind, ServiceMix};
+use workloads::source::TrafficSource;
+
+/// Peak arrival rate of the normal population in every scenario,
+/// requests/s at trace utilization 1.0.
+pub const NORMAL_PEAK_RATE: f64 = 80.0;
+
+/// Standard botnet size: per-bot rates stay under the firewall threshold
+/// for every aggregate rate the figures sweep.
+pub const BOTS: u32 = 40;
+
+/// Build the normal-user source (Alibaba-trace-shaped AliOS population).
+pub fn normal_users(seed: u64, horizon: SimTime) -> Box<dyn TrafficSource> {
+    // The synthetic trace tiles if the window exceeds it; use the small
+    // config (1 s granularity) so short windows still see variation.
+    let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(seed));
+    Box::new(NormalUsers::new(
+        trace,
+        ServiceMix::alios_normal(),
+        NORMAL_PEAK_RATE,
+        1_000,
+        60,
+        0,
+        horizon,
+        seed,
+    ))
+}
+
+/// An http-load attack on a service kernel at `rate` requests/s,
+/// starting at t = 5 s.
+pub fn service_attack(
+    victim: ServiceKind,
+    rate: f64,
+    seed: u64,
+    horizon: SimTime,
+) -> Box<dyn TrafficSource> {
+    Box::new(FloodSource::against_service(
+        AttackTool::HttpLoad { rate },
+        victim,
+        50_000,
+        BOTS,
+        1 << 40,
+        SimTime::from_secs(5),
+        horizon,
+        seed ^ 0x5EED,
+    ))
+}
+
+/// A layered flood (Fig 3 taxonomy) at `rate`, over `bots` agents.
+pub fn layer_flood(
+    kind: FloodKind,
+    rate: f64,
+    bots: u32,
+    seed: u64,
+    horizon: SimTime,
+) -> Box<dyn TrafficSource> {
+    Box::new(FloodSource::flood(
+        kind,
+        rate,
+        50_000,
+        bots,
+        1 << 40,
+        SimTime::from_secs(5),
+        horizon,
+        seed ^ 0xF100D,
+    ))
+}
+
+/// An experiment config with an optional firewall override.
+pub fn experiment(
+    scheme: SchemeKind,
+    budget: BudgetLevel,
+    duration_s: u64,
+    seed: u64,
+    firewall: bool,
+) -> ExperimentConfig {
+    let mut cluster = ClusterConfig::paper_rack(budget);
+    cluster.firewall = firewall;
+    let mut exp = ExperimentConfig::paper_window(cluster, scheme, seed);
+    exp.duration = SimDuration::from_secs(duration_s);
+    exp
+}
+
+/// Run the standard "AliOS + kernel attack" scenario.
+pub fn run_standard(
+    scheme: SchemeKind,
+    budget: BudgetLevel,
+    victim: ServiceKind,
+    attack_rate: f64,
+    duration_s: u64,
+    seed: u64,
+    firewall: bool,
+) -> SimReport {
+    let exp = experiment(scheme, budget, duration_s, seed, firewall);
+    run_experiment(&exp, &move |e: &ExperimentConfig| {
+        let horizon = SimTime::ZERO + e.duration;
+        let mut v = vec![normal_users(e.seed, horizon)];
+        if attack_rate > 0.0 {
+            v.push(service_attack(victim, attack_rate, e.seed, horizon));
+        }
+        v
+    })
+}
+
+/// The evaluation matrix scenario of Figs 16/17/19: AliOS plus a
+/// sustained Colla-Filt DOPE flood.
+pub fn eval_matrix(duration_s: u64, seed: u64) -> Vec<SimReport> {
+    antidope::run_matrix(
+        &SchemeKind::EVALUATED,
+        &BudgetLevel::ALL,
+        &ClusterConfig::paper_rack(BudgetLevel::Normal),
+        SimDuration::from_secs(duration_s),
+        seed,
+        &|e: &ExperimentConfig| {
+            let horizon = SimTime::ZERO + e.duration;
+            vec![
+                normal_users(e.seed, horizon),
+                service_attack(ServiceKind::CollaFilt, 390.0, e.seed, horizon),
+            ]
+        },
+    )
+}

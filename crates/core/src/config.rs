@@ -1,0 +1,224 @@
+//! Cluster and experiment configuration.
+
+use powercap::BudgetLevel;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Which power-management scheme runs the cluster (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// No power management at all (reference / vulnerability studies).
+    None,
+    /// DVFS-only uniform capping.
+    Capping,
+    /// UPS-first peak shaving, DVFS when the battery empties.
+    Shaving,
+    /// Power-denominated token bucket at the NLB.
+    Token,
+    /// The paper's proposal: PDF + RPM.
+    AntiDope,
+    /// Ablation: PDF isolation without any power control.
+    PdfOnly,
+    /// Ablation: RPM/DPM control without PDF isolation.
+    RpmOnly,
+}
+
+impl SchemeKind {
+    /// The four evaluated schemes, Table 2 order.
+    pub const EVALUATED: [SchemeKind; 4] = [
+        SchemeKind::Capping,
+        SchemeKind::Shaving,
+        SchemeKind::Token,
+        SchemeKind::AntiDope,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::None => "None",
+            SchemeKind::Capping => "Capping",
+            SchemeKind::Shaving => "Shaving",
+            SchemeKind::Token => "Token",
+            SchemeKind::AntiDope => "Anti-DOPE",
+            SchemeKind::PdfOnly => "PDF-only",
+            SchemeKind::RpmOnly => "RPM-only",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes.
+    pub servers: usize,
+    /// Cores per node.
+    pub cores_per_server: usize,
+    /// Accept-queue bound per node (requests in flight).
+    pub max_inflight: usize,
+    /// Nodes reserved for the suspect pool under Anti-DOPE.
+    pub suspect_pool_size: usize,
+    /// Power provisioning level.
+    pub budget: BudgetLevel,
+    /// Battery sustain time at full cluster nameplate (paper: 2 min).
+    pub battery_sustain: SimDuration,
+    /// Power-management control slot (paper: per time-slot, 1 s).
+    pub control_slot: SimDuration,
+    /// DVFS transition latency.
+    pub dvfs_latency: SimDuration,
+    /// Enable the perimeter firewall.
+    pub firewall: bool,
+    /// Firewall per-source threshold, requests/s.
+    pub firewall_threshold_rps: f64,
+    /// Firewall detection lag.
+    pub firewall_lag: SimDuration,
+    /// Model the cluster circuit breaker (sustained overload → outage).
+    pub breaker: bool,
+    /// Breaker rating as a multiple of the supplied budget.
+    pub breaker_rating_factor: f64,
+    /// Sustained-overload time before the breaker opens.
+    pub breaker_trip_delay: SimDuration,
+    /// Model node thermals (PROCHOT clamping + critical trip).
+    pub thermal: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's scaled-down testbed: 4 × 100 W nodes (we give each 4
+    /// cores), 2-minute battery, 1 s control slots, deflate-style
+    /// firewall at 150 req/s with a 5 s lag.
+    pub fn paper_rack(budget: BudgetLevel) -> Self {
+        ClusterConfig {
+            servers: 4,
+            cores_per_server: 4,
+            max_inflight: 32,
+            suspect_pool_size: 1,
+            budget,
+            battery_sustain: SimDuration::from_mins(2),
+            control_slot: SimDuration::from_secs(1),
+            dvfs_latency: SimDuration::from_millis(10),
+            firewall: true,
+            firewall_threshold_rps: 150.0,
+            firewall_lag: SimDuration::from_secs(5),
+            breaker: false,
+            breaker_rating_factor: 1.10,
+            breaker_trip_delay: SimDuration::from_secs(30),
+            thermal: false,
+        }
+    }
+
+    /// A larger cluster for scaling studies (16 nodes, 2 suspect).
+    pub fn scaled(budget: BudgetLevel) -> Self {
+        ClusterConfig {
+            servers: 16,
+            cores_per_server: 4,
+            max_inflight: 32,
+            suspect_pool_size: 2,
+            ..Self::paper_rack(budget)
+        }
+    }
+
+    /// Aggregate nameplate of the cluster in watts (100 W nodes).
+    pub fn aggregate_nameplate_w(&self) -> f64 {
+        self.servers as f64 * 100.0
+    }
+
+    /// The wattage budget at this config's provisioning level.
+    pub fn supply_w(&self) -> f64 {
+        self.aggregate_nameplate_w() * self.budget.fraction()
+    }
+
+    /// Validate internal consistency (called by the simulator).
+    pub fn validate(&self) {
+        assert!(self.servers >= 2, "need at least 2 servers");
+        assert!(self.cores_per_server >= 1);
+        assert!(self.max_inflight >= 1);
+        assert!(
+            self.suspect_pool_size >= 1 && self.suspect_pool_size < self.servers,
+            "suspect pool must leave innocent servers"
+        );
+        assert!(!self.control_slot.is_zero());
+    }
+}
+
+/// A complete experiment: cluster + scheme + duration + seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Cluster description.
+    pub cluster: ClusterConfig,
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// Simulated duration (paper windows: 600 s).
+    pub duration: SimDuration,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Label used in reports.
+    pub label: String,
+}
+
+impl ExperimentConfig {
+    /// The paper's standard 10-minute observation window.
+    pub fn paper_window(cluster: ClusterConfig, scheme: SchemeKind, seed: u64) -> Self {
+        let label = format!("{}@{}", scheme.name(), cluster.budget.name());
+        ExperimentConfig {
+            cluster,
+            scheme,
+            duration: SimDuration::from_secs(600),
+            seed,
+            label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rack_matches_testbed() {
+        let c = ClusterConfig::paper_rack(BudgetLevel::Medium);
+        assert_eq!(c.servers, 4);
+        assert_eq!(c.aggregate_nameplate_w(), 400.0);
+        assert!((c.supply_w() - 340.0).abs() < 1e-9);
+        assert_eq!(c.firewall_threshold_rps, 150.0);
+        c.validate();
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(SchemeKind::AntiDope.name(), "Anti-DOPE");
+        assert_eq!(SchemeKind::EVALUATED.len(), 4);
+        assert_eq!(format!("{}", SchemeKind::Capping), "Capping");
+    }
+
+    #[test]
+    #[should_panic(expected = "suspect pool")]
+    fn validate_rejects_all_suspect() {
+        let mut c = ClusterConfig::paper_rack(BudgetLevel::Normal);
+        c.suspect_pool_size = 4;
+        c.validate();
+    }
+
+    #[test]
+    fn experiment_label() {
+        let e = ExperimentConfig::paper_window(
+            ClusterConfig::paper_rack(BudgetLevel::Low),
+            SchemeKind::Token,
+            1,
+        );
+        assert_eq!(e.label, "Token@Low-PB");
+        assert_eq!(e.duration.as_secs(), 600);
+    }
+
+    #[test]
+    fn scaled_cluster() {
+        let c = ClusterConfig::scaled(BudgetLevel::High);
+        assert_eq!(c.servers, 16);
+        assert_eq!(c.suspect_pool_size, 2);
+        c.validate();
+    }
+}

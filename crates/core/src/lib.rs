@@ -1,0 +1,50 @@
+//! # antidope — the paper's contribution
+//!
+//! A request-aware power-management framework for power-oversubscribed
+//! data centers under DOPE (Denial of Power and Energy) attack, plus the
+//! three baselines it is evaluated against and the full-system simulator
+//! that ties every substrate crate together.
+//!
+//! ## The framework (Section 5 of the paper)
+//!
+//! * [`pdf`] — **Power-Driven Forwarding**: offline profiling builds a
+//!   [`netsim::SuspectList`]; the NLB splits traffic by URL into suspect
+//!   and innocent flows routed to disjoint server pools.
+//! * [`dpm`] — **Differentiated Power Management** (Algorithm 1): on a
+//!   budget violation, throttle *suspect* nodes first, choosing per-node
+//!   V/F states by best power-saved-per-performance-lost, spilling to
+//!   innocent nodes only when the suspect pool is exhausted.
+//! * [`request_control`] — the Eq (1) request-control model:
+//!   `Σ qᵢ·Pᵢ(f) ≤ B₀` solved per node for the resident request mix.
+//! * [`scheme`] — the four evaluated schemes of Table 2: `Capping`,
+//!   `Shaving`, `Token`, and `AntiDope` (PDF + RPM), behind one
+//!   [`scheme::PowerScheme`] trait.
+//! * [`cluster`] — [`cluster::ClusterSim`]: the discrete-event model
+//!   wiring sources → firewall → NLB → processor-sharing nodes, with the
+//!   power monitor / battery / DVFS control loop on 1 s slots.
+//! * [`runner`] — one-call experiment execution and rayon-parallel
+//!   (scheme × budget × seed) sweeps.
+//! * [`results`] — [`results::SimReport`]: everything the paper's
+//!   figures need, serializable to JSON.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cluster;
+pub mod config;
+pub mod dpm;
+pub mod node;
+pub mod pdf;
+pub mod request_control;
+pub mod results;
+pub mod runner;
+pub mod scheme;
+
+
+pub use cluster::ClusterSim;
+pub use config::{ClusterConfig, ExperimentConfig, SchemeKind};
+pub use node::ComputeNode;
+pub use results::SimReport;
+pub use runner::{run_experiment, run_matrix};
+
+

@@ -1,0 +1,279 @@
+//! A compute node: processor-sharing queue + DVFS + RAPL + power model.
+//!
+//! Couples the substrates: the queue's speed follows the DVFS effective
+//! state, and the node's instantaneous power follows the queue's resident
+//! load character through the server power model.
+
+use netsim::queueing::{PsServer, PushOutcome};
+use netsim::request::{Request, RequestId};
+use powercap::dvfs::DvfsController;
+use powercap::pstate::{PState, PStateTable};
+use powercap::rapl::Rapl;
+use powercap::server_power::ServerPowerModel;
+use simcore::{SimDuration, SimTime};
+
+/// One server: queue, frequency actuator, power model.
+#[derive(Debug, Clone)]
+pub struct ComputeNode {
+    queue: PsServer,
+    dvfs: DvfsController,
+    rapl: Rapl,
+    model: ServerPowerModel,
+}
+
+impl ComputeNode {
+    /// Build a node with the paper's 100 W power model.
+    pub fn new(
+        start: SimTime,
+        cores: usize,
+        max_inflight: usize,
+        dvfs_latency: SimDuration,
+    ) -> Self {
+        let model = ServerPowerModel::paper_default();
+        let table = model.table.clone();
+        let core_ghz = table.max_freq_ghz();
+        ComputeNode {
+            queue: PsServer::new(start, cores, core_ghz, max_inflight),
+            dvfs: DvfsController::new(table, dvfs_latency),
+            rapl: Rapl::new(model.clone()),
+            model,
+        }
+    }
+
+    /// The node's power model.
+    pub fn model(&self) -> &ServerPowerModel {
+        &self.model
+    }
+
+    /// The DVFS ladder.
+    pub fn table(&self) -> &PStateTable {
+        &self.model.table
+    }
+
+    /// Requests in flight.
+    pub fn inflight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue epoch (see [`PsServer::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.queue.epoch()
+    }
+
+    /// Lifetime completions.
+    pub fn completed(&self) -> u64 {
+        self.queue.completed()
+    }
+
+    /// Lifetime rejections.
+    pub fn rejected(&self) -> u64 {
+        self.queue.rejected()
+    }
+
+    /// The effective P-state as of the last advance.
+    pub fn effective_pstate(&self) -> PState {
+        self.dvfs.effective()
+    }
+
+    /// The commanded target P-state.
+    pub fn target_pstate(&self) -> PState {
+        self.dvfs.target()
+    }
+
+    /// V/F reduction steps below nominal (Fig 6's y-axis).
+    pub fn vf_reduction_steps(&self) -> u8 {
+        self.dvfs.vf_reduction_steps()
+    }
+
+    /// Lifetime DVFS transitions commanded.
+    pub fn dvfs_transitions(&self) -> u64 {
+        self.dvfs.transitions()
+    }
+
+    /// Resident load character `(utilization, intensity, gamma)`.
+    pub fn load_character(&self) -> (f64, f64, f64) {
+        self.queue.load_character()
+    }
+
+    /// Mean CPU-boundedness of the resident mix.
+    pub fn mean_beta(&self) -> f64 {
+        self.queue.mean_beta()
+    }
+
+    /// Instantaneous node power, watts.
+    pub fn power_w(&self) -> f64 {
+        let (u, i, g) = self.queue.load_character();
+        self.model.power(self.dvfs.effective(), u, i, g)
+    }
+
+    /// Offer a request to the queue.
+    pub fn push(&mut self, now: SimTime, req: Request) -> PushOutcome {
+        self.queue.push(now, req)
+    }
+
+    /// Predict the next completion (advance first).
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, RequestId)> {
+        self.queue.advance(now);
+        self.queue.next_completion()
+    }
+
+    /// Attempt a completion (see [`PsServer::try_complete`]).
+    pub fn try_complete(&mut self, now: SimTime, id: RequestId) -> Option<(Request, SimDuration)> {
+        self.queue.try_complete(now, id)
+    }
+
+    /// Command a P-state directly; returns the settle instant.
+    pub fn command_pstate(&mut self, now: SimTime, target: PState) -> SimTime {
+        self.dvfs.command(now, target)
+    }
+
+    /// Command via a RAPL watt limit resolved against the resident load;
+    /// returns `(chosen state, settle instant)`.
+    pub fn command_power_limit(&mut self, now: SimTime, limit_w: Option<f64>) -> (PState, SimTime) {
+        let (_, intensity, gamma) = self.queue.load_character();
+        // An idle node reports zero intensity; resolve the limit against
+        // a worst-case resident mix so the cap still binds when load
+        // lands mid-slot.
+        let (i, g) = if intensity == 0.0 {
+            (1.0, 0.9)
+        } else {
+            (intensity, gamma)
+        };
+        let state = self.rapl.set_limit(now, &mut self.dvfs, limit_w, i, g);
+        let settle = self.dvfs.pending_settle().unwrap_or(now);
+        (state, settle)
+    }
+
+    /// Apply any matured DVFS transition to the queue speed. Call at the
+    /// settle instant (and it is harmless to call at any other time).
+    pub fn apply_dvfs(&mut self, now: SimTime) {
+        self.dvfs.advance(now);
+        let rel = self.dvfs.rel_freq();
+        if (self.queue.rel_freq() - rel).abs() > 1e-12 {
+            self.queue.set_rel_freq(now, rel);
+        } else {
+            self.queue.advance(now);
+        }
+    }
+
+    /// Drain the queue (power loss).
+    pub fn drain(&mut self, now: SimTime) -> Vec<Request> {
+        self.queue.drain(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::request::{RequestBuilder, SourceId, UrlId};
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    fn node() -> ComputeNode {
+        ComputeNode::new(SimTime::ZERO, 4, 64, SimDuration::from_millis(10))
+    }
+
+    fn req(b: &mut RequestBuilder, work: f64, beta: f64, intensity: f64) -> Request {
+        b.build(
+            UrlId(0),
+            SourceId(0),
+            SimTime::ZERO,
+            work,
+            beta,
+            intensity,
+            0.9,
+            false,
+        )
+    }
+
+    #[test]
+    fn idle_node_draws_idle_power() {
+        let n = node();
+        assert!((n.power_w() - 40.0).abs() < 1e-9);
+        assert_eq!(n.vf_reduction_steps(), 0);
+    }
+
+    #[test]
+    fn power_rises_with_load() {
+        let mut n = node();
+        let mut b = RequestBuilder::new();
+        n.push(SimTime::ZERO, req(&mut b, 2.4, 1.0, 1.0));
+        // 1 of 4 cores busy at intensity 1: 40 + √0.25·60 = 70 W
+        // (concave utilization curve).
+        assert!((n.power_w() - 70.0).abs() < 1e-9);
+        for _ in 0..3 {
+            n.push(SimTime::ZERO, req(&mut b, 2.4, 1.0, 1.0));
+        }
+        assert!((n.power_w() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_lowers_power_and_speed_after_settle() {
+        let mut n = node();
+        let mut b = RequestBuilder::new();
+        for _ in 0..4 {
+            n.push(SimTime::ZERO, req(&mut b, 2.4, 1.0, 1.0));
+        }
+        let settle = n.command_pstate(SimTime::ZERO, PState(0));
+        assert_eq!(settle, SimTime::from_millis(10));
+        // Before settle: unchanged.
+        assert!((n.power_w() - 100.0).abs() < 1e-9);
+        n.apply_dvfs(settle);
+        let p = n.power_w();
+        assert!(p < 60.0, "power after floor throttle: {p}");
+        // Queue speed followed.
+        let (eta, _) = n.next_completion(settle).unwrap();
+        assert!(eta > s(1)); // originally 1 s of work, now slower
+    }
+
+    #[test]
+    fn power_limit_resolves_against_resident_mix() {
+        let mut n = node();
+        let mut b = RequestBuilder::new();
+        for _ in 0..4 {
+            n.push(SimTime::ZERO, req(&mut b, 2.4, 1.0, 1.0));
+        }
+        let (state, settle) = n.command_power_limit(SimTime::ZERO, Some(70.0));
+        assert!(state < PState(12));
+        n.apply_dvfs(settle);
+        assert!(n.power_w() <= 70.0 + 1e-6, "power={}", n.power_w());
+    }
+
+    #[test]
+    fn power_limit_on_idle_node_uses_worst_case() {
+        let mut n = node();
+        let (state, _) = n.command_power_limit(SimTime::ZERO, Some(70.0));
+        // Same state as a fully-loaded CPU-bound node would get.
+        let m = ServerPowerModel::paper_default();
+        assert_eq!(state, m.state_for_cap(70.0, 1.0, 0.9));
+    }
+
+    #[test]
+    fn completion_roundtrip() {
+        let mut n = node();
+        let mut b = RequestBuilder::new();
+        let r = req(&mut b, 2.4, 1.0, 0.8);
+        let id = r.id;
+        n.push(SimTime::ZERO, r);
+        let (eta, got) = n.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(got, id);
+        let (done, sojourn) = n.try_complete(eta, id).unwrap();
+        assert_eq!(done.id, id);
+        assert_eq!(sojourn.as_secs(), 1);
+        assert_eq!(n.completed(), 1);
+        assert!((n.power_w() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncapping_restores_nominal() {
+        let mut n = node();
+        n.command_pstate(SimTime::ZERO, PState(0));
+        n.apply_dvfs(SimTime::from_millis(10));
+        assert_eq!(n.vf_reduction_steps(), 12);
+        let (_, settle) = n.command_power_limit(SimTime::from_secs(1), None);
+        n.apply_dvfs(settle);
+        assert_eq!(n.vf_reduction_steps(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! PDF — Power-Driven Forwarding (Section 5.1/5.2, Figure 14).
+//!
+//! Two pieces:
+//!
+//! 1. **Offline profiling** ([`build_suspect_list`]): measure the power
+//!    intensity of every service URL (we profile analytically against the
+//!    server power model — the simulation equivalent of the paper's
+//!    bench runs) and mark URLs above the threshold *suspect*.
+//! 2. **Pool partition + forwarding policy** ([`pdf_policy`]): reserve
+//!    the last `suspect_pool_size` servers as the isolated suspect pool
+//!    and program the NLB with URL-split forwarding.
+
+use netsim::nlb::ForwardingPolicy;
+use netsim::suspect::{FlowClass, SuspectList};
+use workloads::floods::{CONN_TABLE_URL, DNS_URL, KERNEL_PATH_URL};
+use workloads::service::ServiceKind;
+
+/// Default suspicion threshold on profiled power intensity.
+///
+/// Chosen between Word-Count (0.78) and Text-Cont (0.35): the three
+/// kernels the paper identifies as power weapons (Colla-Filt, K-means,
+/// Word-Count) are suspect; light text traffic is not.
+pub const DEFAULT_SUSPECT_THRESHOLD: f64 = 0.70;
+
+/// Profile every known URL and build the suspect list.
+///
+/// Unknown URLs default to *innocent* — the paper's design accepts that
+/// a legitimate heavy request may be classed suspect (it still gets
+/// served, on the suspect pool) but never blocks unknown traffic.
+pub fn build_suspect_list(threshold: f64) -> SuspectList {
+    let mut list = SuspectList::new(threshold, FlowClass::Innocent);
+    for kind in ServiceKind::ALL {
+        let p = kind.profile();
+        list.set_profile(kind.url(), p.intensity);
+    }
+    // Pseudo-URLs from the flood taxonomy: profiled like any other
+    // endpoint so network-layer junk lands on the innocent pool (it is
+    // power-cheap) and resolver abuse is treated by its measured cost.
+    list.set_profile(KERNEL_PATH_URL, 0.25);
+    list.set_profile(DNS_URL, 0.70);
+    list.set_profile(CONN_TABLE_URL, 0.45);
+    list
+}
+
+/// Partition `servers` into `(innocent_pool, suspect_pool)` with the last
+/// `suspect_pool_size` indices isolated.
+pub fn partition_pools(servers: usize, suspect_pool_size: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(suspect_pool_size >= 1 && suspect_pool_size < servers);
+    let innocent: Vec<usize> = (0..servers - suspect_pool_size).collect();
+    let suspect: Vec<usize> = (servers - suspect_pool_size..servers).collect();
+    (innocent, suspect)
+}
+
+/// The complete PDF forwarding policy for a cluster.
+pub fn pdf_policy(servers: usize, suspect_pool_size: usize, threshold: f64) -> ForwardingPolicy {
+    let (innocent_pool, suspect_pool) = partition_pools(servers, suspect_pool_size);
+    ForwardingPolicy::UrlSplit {
+        list: build_suspect_list(threshold),
+        suspect_pool,
+        innocent_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::request::UrlId;
+
+    #[test]
+    fn paper_kernels_classified() {
+        let list = build_suspect_list(DEFAULT_SUSPECT_THRESHOLD);
+        // The three attack-worthy kernels are suspect…
+        assert!(list.is_suspect(ServiceKind::CollaFilt.url()));
+        assert!(list.is_suspect(ServiceKind::KMeans.url()));
+        assert!(list.is_suspect(ServiceKind::WordCount.url()));
+        // …light traffic and kernel-path junk are not.
+        assert!(!list.is_suspect(ServiceKind::TextCont.url()));
+        assert!(!list.is_suspect(KERNEL_PATH_URL));
+        assert!(!list.is_suspect(UrlId(999))); // unknown → innocent
+    }
+
+    #[test]
+    fn threshold_is_a_knob() {
+        // A paranoid threshold sweeps in everything profiled above it.
+        let strict = build_suspect_list(0.3);
+        assert!(strict.is_suspect(ServiceKind::TextCont.url()));
+        let lax = build_suspect_list(0.95);
+        assert!(lax.is_suspect(ServiceKind::CollaFilt.url()));
+        assert!(!lax.is_suspect(ServiceKind::KMeans.url()));
+    }
+
+    #[test]
+    fn pools_partition_cleanly() {
+        let (innocent, suspect) = partition_pools(4, 1);
+        assert_eq!(innocent, vec![0, 1, 2]);
+        assert_eq!(suspect, vec![3]);
+        let (innocent, suspect) = partition_pools(16, 2);
+        assert_eq!(innocent.len(), 14);
+        assert_eq!(suspect, vec![14, 15]);
+    }
+
+    #[test]
+    fn policy_is_wellformed() {
+        let policy = pdf_policy(4, 1, DEFAULT_SUSPECT_THRESHOLD);
+        let ForwardingPolicy::UrlSplit {
+            list,
+            suspect_pool,
+            innocent_pool,
+        } = policy
+        else {
+            panic!("expected UrlSplit");
+        };
+        assert_eq!(suspect_pool, vec![3]);
+        assert_eq!(innocent_pool, vec![0, 1, 2]);
+        assert!(list.profiled() >= 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_rejects_no_innocents() {
+        partition_pools(4, 4);
+    }
+}

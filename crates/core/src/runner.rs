@@ -1,0 +1,230 @@
+//! Experiment execution: single runs and rayon-parallel sweeps.
+//!
+//! Each simulation is strictly deterministic and single-threaded;
+//! parallelism lives at the sweep level (one independent simulation per
+//! (scheme, budget, seed) cell), which is both embarrassingly parallel
+//! and reproducible — the hpc-parallel way: no shared mutable state, a
+//! pure function per cell, `par_iter().map().collect()`.
+
+use crate::cluster::ClusterSim;
+use crate::config::{ClusterConfig, ExperimentConfig, SchemeKind};
+use crate::results::SimReport;
+use powercap::BudgetLevel;
+use rayon::prelude::*;
+use workloads::source::TrafficSource;
+
+/// A factory producing fresh traffic sources for one experiment run.
+///
+/// Sources are stateful and consumed by a run, so sweeps need a way to
+/// mint identical populations per cell; the factory receives the cell's
+/// [`ExperimentConfig`] (so it can use the cell seed) and returns the
+/// boxed sources.
+pub trait SourceFactory: Sync {
+    /// Build the traffic population for `exp`.
+    fn build(&self, exp: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>>;
+}
+
+impl<F> SourceFactory for F
+where
+    F: Fn(&ExperimentConfig) -> Vec<Box<dyn TrafficSource>> + Sync,
+{
+    fn build(&self, exp: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+        self(exp)
+    }
+}
+
+/// Run one experiment to completion.
+pub fn run_experiment(exp: &ExperimentConfig, factory: &dyn SourceFactory) -> SimReport {
+    ClusterSim::run(exp, factory.build(exp))
+}
+
+/// A progress event from a streaming sweep.
+#[derive(Debug, Clone)]
+pub struct CellDone {
+    /// Index of the cell in submission order.
+    pub index: usize,
+    /// Cells in the sweep.
+    pub total: usize,
+    /// The completed cell's report.
+    pub report: SimReport,
+}
+
+/// Run an arbitrary set of experiment cells in parallel, streaming each
+/// completed cell to `on_done` **as it finishes** (completion order, not
+/// submission order). Returns all reports in submission order.
+///
+/// Long sweeps (the 600 s × 16-cell evaluation matrix, multi-seed
+/// robustness runs) feel very different with a progress line per cell;
+/// rayon workers hand completed cells to a crossbeam channel that the
+/// calling thread drains while the pool works.
+pub fn run_cells_streaming(
+    cells: &[ExperimentConfig],
+    factory: &dyn SourceFactory,
+    mut on_done: impl FnMut(&CellDone) + Send,
+) -> Vec<SimReport> {
+    let total = cells.len();
+    let (tx, rx) = crossbeam::channel::unbounded::<CellDone>();
+    let mut slots: Vec<Option<SimReport>> = (0..total).map(|_| None).collect();
+    // The producer lives on a plain OS thread so the drain loop never
+    // occupies a rayon pool thread (rayon::scope would run this body
+    // *inside* the pool, and a pool thread blocked on a channel is a
+    // deadlock waiting to happen).
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            cells
+                .par_iter()
+                .enumerate()
+                .for_each_with(tx, |tx, (index, exp)| {
+                    let report = run_experiment(exp, factory);
+                    // The receiver outlives the producers; a send failure
+                    // would mean it was dropped early — surface it loudly.
+                    tx.send(CellDone {
+                        index,
+                        total,
+                        report,
+                    })
+                    .expect("sweep receiver dropped");
+                });
+        });
+        // Drain until every producer's clone of `tx` is dropped.
+        for done in rx.iter() {
+            on_done(&done);
+            slots[done.index] = Some(done.report);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell completes"))
+        .collect()
+}
+
+/// Run the full (scheme × budget) matrix of the paper's evaluation in
+/// parallel. Returns reports in `(scheme-major, budget-minor)` order.
+pub fn run_matrix(
+    schemes: &[SchemeKind],
+    budgets: &[BudgetLevel],
+    base_cluster: &ClusterConfig,
+    duration: simcore::SimDuration,
+    seed: u64,
+    factory: &dyn SourceFactory,
+) -> Vec<SimReport> {
+    let cells: Vec<ExperimentConfig> = schemes
+        .iter()
+        .flat_map(|&s| budgets.iter().map(move |&b| (s, b)))
+        .map(|(scheme, budget)| {
+            let mut cluster = base_cluster.clone();
+            cluster.budget = budget;
+            let mut exp = ExperimentConfig::paper_window(cluster, scheme, seed);
+            exp.duration = duration;
+            exp
+        })
+        .collect();
+    run_cells_streaming(&cells, factory, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{SimDuration, SimTime};
+    use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
+    use workloads::attacker::{AttackTool, FloodSource};
+    use workloads::normal::NormalUsers;
+    use workloads::service::{ServiceKind, ServiceMix};
+
+    fn factory(exp: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+        let horizon = SimTime::ZERO + exp.duration;
+        let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+        vec![
+            Box::new(NormalUsers::new(
+                trace,
+                ServiceMix::alios_normal(),
+                60.0,
+                1000,
+                50,
+                0,
+                horizon,
+                exp.seed,
+            )),
+            Box::new(FloodSource::against_service(
+                AttackTool::HttpLoad { rate: 300.0 },
+                ServiceKind::CollaFilt,
+                50_000,
+                30,
+                1 << 40,
+                SimTime::from_secs(2),
+                horizon,
+                exp.seed ^ 0xABCD,
+            )),
+        ]
+    }
+
+    #[test]
+    fn matrix_covers_all_cells_in_order() {
+        let reports = run_matrix(
+            &[SchemeKind::Capping, SchemeKind::AntiDope],
+            &[BudgetLevel::Normal, BudgetLevel::Low],
+            &ClusterConfig::paper_rack(BudgetLevel::Normal),
+            SimDuration::from_secs(20),
+            5,
+            &factory,
+        );
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].scheme, "Capping");
+        assert_eq!(reports[0].budget, "Normal-PB");
+        assert_eq!(reports[1].budget, "Low-PB");
+        assert_eq!(reports[2].scheme, "Anti-DOPE");
+        for r in &reports {
+            assert!(r.traffic.offered > 0);
+        }
+    }
+
+    #[test]
+    fn streaming_reports_every_cell_in_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cells: Vec<ExperimentConfig> = [SchemeKind::Capping, SchemeKind::Token, SchemeKind::AntiDope]
+            .iter()
+            .map(|&s| {
+                let mut e = ExperimentConfig::paper_window(
+                    ClusterConfig::paper_rack(BudgetLevel::Medium),
+                    s,
+                    3,
+                );
+                e.duration = SimDuration::from_secs(15);
+                e
+            })
+            .collect();
+        let seen = AtomicUsize::new(0);
+        let reports = run_cells_streaming(&cells, &factory, |done| {
+            assert_eq!(done.total, 3);
+            assert!(done.index < 3);
+            assert!(done.report.traffic.offered > 0);
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
+        // Results come back in submission order regardless of completion order.
+        assert_eq!(reports[0].scheme, "Capping");
+        assert_eq!(reports[1].scheme, "Token");
+        assert_eq!(reports[2].scheme, "Anti-DOPE");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cluster = ClusterConfig::paper_rack(BudgetLevel::Medium);
+        let reports = run_matrix(
+            &[SchemeKind::Shaving],
+            &[BudgetLevel::Medium],
+            &cluster,
+            SimDuration::from_secs(20),
+            9,
+            &factory,
+        );
+        let mut exp =
+            ExperimentConfig::paper_window(cluster, SchemeKind::Shaving, 9);
+        exp.duration = SimDuration::from_secs(20);
+        let solo = run_experiment(&exp, &factory);
+        assert_eq!(
+            serde_json::to_string(&reports[0]).unwrap(),
+            serde_json::to_string(&solo).unwrap()
+        );
+    }
+}

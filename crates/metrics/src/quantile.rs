@@ -1,0 +1,236 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac (1985): estimates a single quantile of a stream with
+//! five markers and O(1) memory, no buckets to size. We use it for
+//! online control decisions (e.g. the health checker watching p90 power)
+//! where allocating a full histogram per server per slot would be wasteful
+//! — the hot path is five floats and a handful of branches.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of one quantile via the P² algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments per observation.
+    dn: [f64; 5],
+    count: u64,
+    /// First five observations, collected before the estimator activates.
+    warmup: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Estimator for the `p`-quantile (`0 < p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1): {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            warmup: [0.0; 5],
+        }
+    }
+
+    /// The quantile this estimator targets.
+    pub fn target(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample: {x}");
+        if self.count < 5 {
+            self.warmup[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.q = self.warmup;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k such that q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.q[i] && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    #[inline]
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let n = &self.n;
+        let q = &self.q;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    #[inline]
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate; `None` until at least one sample is seen.
+    /// With fewer than 5 samples, returns the exact quantile of what has
+    /// been seen.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c < 5 => {
+                let mut xs = self.warmup[..c as usize].to_vec();
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let rank = ((self.p * c as f64).ceil() as usize).max(1);
+                Some(xs[rank - 1])
+            }
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(P2Quantile::new(0.9).estimate(), None);
+    }
+
+    #[test]
+    fn small_counts_exact() {
+        let mut e = P2Quantile::new(0.5);
+        e.record(3.0);
+        assert_eq!(e.estimate(), Some(3.0));
+        e.record(1.0);
+        e.record(2.0);
+        assert_eq!(e.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn uniform_median_converges() {
+        let mut e = P2Quantile::new(0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            e.record(rng.gen_range(0.0..1.0));
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn uniform_p90_converges() {
+        let mut e = P2Quantile::new(0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            e.record(rng.gen_range(0.0..100.0));
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 90.0).abs() < 2.0, "p90 estimate {est}");
+    }
+
+    #[test]
+    fn exponential_tail() {
+        let mut e = P2Quantile::new(0.95);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            e.record(-(1.0 - u).ln());
+        }
+        // True p95 of Exp(1) is ln(20) ≈ 2.9957.
+        let est = e.estimate().unwrap();
+        assert!((est - 2.9957).abs() < 0.15, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut e = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            e.record(7.0);
+        }
+        assert_eq!(e.estimate(), Some(7.0));
+    }
+
+    #[test]
+    fn sorted_input_does_not_break() {
+        let mut e = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            e.record(i as f64);
+        }
+        let est = e.estimate().unwrap();
+        assert!((est - 5000.0).abs() < 500.0, "median of 0..10000 ≈ {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    proptest! {
+        /// Estimate always lies within [min, max] of the samples.
+        #[test]
+        fn prop_estimate_in_range(xs in proptest::collection::vec(-1e4f64..1e4, 1..300)) {
+            let mut e = P2Quantile::new(0.9);
+            for &x in &xs { e.record(x); }
+            let est = e.estimate().unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est={} not in [{}, {}]", est, lo, hi);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The network load balancer.
+//!
+//! Routes each admitted request to a backend server under a pluggable
+//! [`ForwardingPolicy`]:
+//!
+//! * `RoundRobin` — the vanilla NLB the paper's baselines run.
+//! * `LeastLoaded` — joins the shortest queue using load feedback.
+//! * `UrlSplit` — the paper's PDF mechanism: URLs on the suspect list go
+//!   to the isolated *suspect pool*, everything else to the main pool
+//!   (the "url-based forwarding module" + "package rewriter" of Fig 14).
+
+use crate::request::Request;
+use crate::suspect::SuspectList;
+
+/// How the NLB picks a backend.
+#[derive(Debug, Clone)]
+pub enum ForwardingPolicy {
+    /// Cycle through all backends.
+    RoundRobin,
+    /// Pick the backend with the smallest reported load.
+    LeastLoaded,
+    /// PDF: split by suspect list into two pools, round-robin within
+    /// each pool.
+    UrlSplit {
+        /// The offline-profiled suspect list.
+        list: SuspectList,
+        /// Backend indices reserved for suspect flows.
+        suspect_pool: Vec<usize>,
+        /// Backend indices serving innocent flows.
+        innocent_pool: Vec<usize>,
+    },
+}
+
+/// The load balancer: a forwarding policy over `n` backends.
+#[derive(Debug, Clone)]
+pub struct Nlb {
+    backends: usize,
+    policy: ForwardingPolicy,
+    rr_cursor: usize,
+    suspect_cursor: usize,
+    innocent_cursor: usize,
+    /// Last reported per-backend load (in-flight counts).
+    loads: Vec<usize>,
+    forwarded: u64,
+    to_suspect_pool: u64,
+}
+
+impl Nlb {
+    /// NLB over `backends` servers.
+    pub fn new(backends: usize, policy: ForwardingPolicy) -> Self {
+        assert!(backends >= 1);
+        if let ForwardingPolicy::UrlSplit {
+            suspect_pool,
+            innocent_pool,
+            ..
+        } = &policy
+        {
+            assert!(!suspect_pool.is_empty(), "suspect pool must be non-empty");
+            assert!(!innocent_pool.is_empty(), "innocent pool must be non-empty");
+            assert!(
+                suspect_pool.iter().chain(innocent_pool).all(|&i| i < backends),
+                "pool index out of range"
+            );
+            assert!(
+                suspect_pool.iter().all(|i| !innocent_pool.contains(i)),
+                "pools must be disjoint"
+            );
+        }
+        Nlb {
+            backends,
+            policy,
+            rr_cursor: 0,
+            suspect_cursor: 0,
+            innocent_cursor: 0,
+            loads: vec![0; backends],
+            forwarded: 0,
+            to_suspect_pool: 0,
+        }
+    }
+
+    /// Number of backends.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Feed back a backend's current in-flight count (LeastLoaded input).
+    pub fn report_load(&mut self, backend: usize, inflight: usize) {
+        self.loads[backend] = inflight;
+    }
+
+    /// Total requests forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Requests sent to the suspect pool (UrlSplit only).
+    pub fn to_suspect_pool(&self) -> u64 {
+        self.to_suspect_pool
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &ForwardingPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the policy (RPM updates the suspect list online).
+    pub fn policy_mut(&mut self) -> &mut ForwardingPolicy {
+        &mut self.policy
+    }
+
+    /// Choose the backend for `req`.
+    pub fn route(&mut self, req: &Request) -> usize {
+        self.forwarded += 1;
+        match &self.policy {
+            ForwardingPolicy::RoundRobin => {
+                let b = self.rr_cursor % self.backends;
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                b
+            }
+            ForwardingPolicy::LeastLoaded => {
+                // Smallest load; ties break on the lowest index for
+                // determinism.
+                let mut best = 0;
+                for i in 1..self.backends {
+                    if self.loads[i] < self.loads[best] {
+                        best = i;
+                    }
+                }
+                // Optimistically count the new request so bursts spread.
+                self.loads[best] += 1;
+                best
+            }
+            ForwardingPolicy::UrlSplit {
+                list,
+                suspect_pool,
+                innocent_pool,
+            } => {
+                if list.is_suspect(req.url) {
+                    self.to_suspect_pool += 1;
+                    let b = suspect_pool[self.suspect_cursor % suspect_pool.len()];
+                    self.suspect_cursor = self.suspect_cursor.wrapping_add(1);
+                    b
+                } else {
+                    let b = innocent_pool[self.innocent_cursor % innocent_pool.len()];
+                    self.innocent_cursor = self.innocent_cursor.wrapping_add(1);
+                    b
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestBuilder, SourceId, UrlId};
+    use crate::suspect::FlowClass;
+    use simcore::SimTime;
+
+    fn req(b: &mut RequestBuilder, url: u16) -> Request {
+        b.build(
+            UrlId(url),
+            SourceId(0),
+            SimTime::ZERO,
+            1.0,
+            0.5,
+            0.5,
+            0.5,
+            false,
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut nlb = Nlb::new(3, ForwardingPolicy::RoundRobin);
+        let mut b = RequestBuilder::new();
+        let picks: Vec<usize> = (0..6).map(|_| nlb.route(&req(&mut b, 0))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(nlb.forwarded(), 6);
+    }
+
+    #[test]
+    fn least_loaded_follows_feedback() {
+        let mut nlb = Nlb::new(3, ForwardingPolicy::LeastLoaded);
+        let mut b = RequestBuilder::new();
+        nlb.report_load(0, 10);
+        nlb.report_load(1, 2);
+        nlb.report_load(2, 5);
+        assert_eq!(nlb.route(&req(&mut b, 0)), 1);
+        // Optimistic increment: backend 1 now at 3, still smallest.
+        assert_eq!(nlb.route(&req(&mut b, 0)), 1);
+        nlb.report_load(1, 20);
+        assert_eq!(nlb.route(&req(&mut b, 0)), 2);
+    }
+
+    #[test]
+    fn least_loaded_spreads_bursts() {
+        let mut nlb = Nlb::new(4, ForwardingPolicy::LeastLoaded);
+        let mut b = RequestBuilder::new();
+        // With zero feedback, optimistic counting spreads a burst evenly.
+        let picks: Vec<usize> = (0..8).map(|_| nlb.route(&req(&mut b, 0))).collect();
+        let mut counts = [0usize; 4];
+        for p in picks {
+            counts[p] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    fn split_nlb() -> Nlb {
+        let mut list = SuspectList::new(0.7, FlowClass::Innocent);
+        list.set_profile(UrlId(0), 0.95); // suspect
+        list.set_profile(UrlId(3), 0.3); // innocent
+        Nlb::new(
+            4,
+            ForwardingPolicy::UrlSplit {
+                list,
+                suspect_pool: vec![3],
+                innocent_pool: vec![0, 1, 2],
+            },
+        )
+    }
+
+    #[test]
+    fn url_split_isolates_suspects() {
+        let mut nlb = split_nlb();
+        let mut b = RequestBuilder::new();
+        for _ in 0..5 {
+            assert_eq!(nlb.route(&req(&mut b, 0)), 3);
+        }
+        let innocents: Vec<usize> = (0..6).map(|_| nlb.route(&req(&mut b, 3))).collect();
+        assert_eq!(innocents, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(nlb.to_suspect_pool(), 5);
+    }
+
+    #[test]
+    fn url_split_unknown_url_uses_default() {
+        let mut nlb = split_nlb();
+        let mut b = RequestBuilder::new();
+        // URL 42 unprofiled, default Innocent → main pool.
+        assert!(nlb.route(&req(&mut b, 42)) < 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pools must be disjoint")]
+    fn overlapping_pools_rejected() {
+        let list = SuspectList::new(0.7, FlowClass::Innocent);
+        Nlb::new(
+            4,
+            ForwardingPolicy::UrlSplit {
+                list,
+                suspect_pool: vec![0, 1],
+                innocent_pool: vec![1, 2],
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pool index out of range")]
+    fn out_of_range_pool_rejected() {
+        let list = SuspectList::new(0.7, FlowClass::Innocent);
+        Nlb::new(
+            2,
+            ForwardingPolicy::UrlSplit {
+                list,
+                suspect_pool: vec![5],
+                innocent_pool: vec![0],
+            },
+        );
+    }
+}

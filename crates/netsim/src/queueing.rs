@@ -1,0 +1,479 @@
+//! Multi-core processor-sharing server queue with DVFS-dependent speed.
+//!
+//! Each server is modeled as `c` cores shared equally among all in-flight
+//! requests (the classic egalitarian processor-sharing model of a
+//! threaded HTTP server). A request's instantaneous service rate is
+//!
+//! ```text
+//! rate_i = core_ghz · ((1 − βᵢ) + βᵢ · rel_f) · min(1, c / n)    [G-cycles/s]
+//! ```
+//!
+//! so lowering the DVFS state (`rel_f`) slows CPU-bound requests
+//! proportionally while memory-bound ones barely notice — the mechanism
+//! behind every latency figure in the paper.
+//!
+//! ## Event protocol
+//!
+//! The queue advances lazily: every mutating call first integrates all
+//! in-flight work over the elapsed time. Completion times depend on
+//! occupancy, so any state change invalidates previously-predicted ETAs;
+//! the queue exposes an [`PsServer::epoch`] counter that bumps on every
+//! state change. The owning simulation schedules one completion event per
+//! server carrying the epoch, and discards stale events on delivery.
+
+use crate::request::{Request, RequestId};
+use simcore::{SimDuration, SimTime};
+
+/// Result of offering a request to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Admitted into service.
+    Accepted,
+    /// Rejected: the accept queue is full (overload collapse).
+    Rejected,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Request,
+    remaining_gcycles: f64,
+}
+
+/// A processor-sharing multi-core server queue.
+#[derive(Debug, Clone)]
+pub struct PsServer {
+    cores: usize,
+    core_ghz: f64,
+    rel_freq: f64,
+    max_inflight: usize,
+    inflight: Vec<InFlight>,
+    last_advance: SimTime,
+    epoch: u64,
+    completed: u64,
+    rejected: u64,
+}
+
+impl PsServer {
+    /// A server with `cores` cores at `core_ghz` nominal, admitting at
+    /// most `max_inflight` concurrent requests.
+    pub fn new(start: SimTime, cores: usize, core_ghz: f64, max_inflight: usize) -> Self {
+        assert!(cores >= 1 && core_ghz > 0.0 && max_inflight >= 1);
+        PsServer {
+            cores,
+            core_ghz,
+            rel_freq: 1.0,
+            max_inflight,
+            inflight: Vec::new(),
+            last_advance: start,
+            epoch: 0,
+            completed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Requests currently in flight (queued + in service — PS does not
+    /// distinguish).
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when idle.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// State-change epoch; bumps on push / completion / frequency change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime completions.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Lifetime rejections.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Current relative frequency.
+    pub fn rel_freq(&self) -> f64 {
+        self.rel_freq
+    }
+
+    /// Busy-core fraction in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        (self.inflight.len().min(self.cores)) as f64 / self.cores as f64
+    }
+
+    /// Power character of the resident mix as `(utilization, intensity,
+    /// gamma)`. Intensity and gamma are averaged over the requests
+    /// actually occupying core share (equal shares under PS). An idle
+    /// server reports zeros.
+    pub fn load_character(&self) -> (f64, f64, f64) {
+        if self.inflight.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.inflight.len() as f64;
+        let intensity = self.inflight.iter().map(|f| f.req.intensity).sum::<f64>() / n;
+        let gamma = self.inflight.iter().map(|f| f.req.gamma).sum::<f64>() / n;
+        (self.utilization(), intensity, gamma)
+    }
+
+    /// Mean CPU-boundedness of the resident mix (0 when idle) — what a
+    /// power manager needs to price the performance cost of throttling.
+    pub fn mean_beta(&self) -> f64 {
+        if self.inflight.is_empty() {
+            return 0.0;
+        }
+        self.inflight.iter().map(|f| f.req.beta).sum::<f64>() / self.inflight.len() as f64
+    }
+
+    /// Per-request core share under PS.
+    #[inline]
+    fn share(&self) -> f64 {
+        if self.inflight.is_empty() {
+            0.0
+        } else {
+            (self.cores as f64 / self.inflight.len() as f64).min(1.0)
+        }
+    }
+
+    /// Service rate of one in-flight entry, G-cycles/s.
+    #[inline]
+    fn rate_of(&self, f: &InFlight) -> f64 {
+        self.core_ghz * f.req.rate_factor(self.rel_freq) * self.share()
+    }
+
+    /// Integrate all in-flight work up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt == 0.0 || self.inflight.is_empty() {
+            return;
+        }
+        let share = self.share();
+        let base = self.core_ghz * dt * share;
+        for f in &mut self.inflight {
+            let done = base * f.req.rate_factor(self.rel_freq);
+            f.remaining_gcycles = (f.remaining_gcycles - done).max(0.0);
+        }
+    }
+
+    /// Change the DVFS relative frequency at `now`.
+    pub fn set_rel_freq(&mut self, now: SimTime, rel_f: f64) {
+        assert!(rel_f > 0.0 && rel_f <= 1.0 + 1e-9, "rel_f={rel_f}");
+        self.advance(now);
+        if (rel_f - self.rel_freq).abs() > 1e-12 {
+            self.rel_freq = rel_f;
+            self.epoch += 1;
+        }
+    }
+
+    /// Offer a request at `now`.
+    pub fn push(&mut self, now: SimTime, req: Request) -> PushOutcome {
+        self.advance(now);
+        if self.inflight.len() >= self.max_inflight {
+            self.rejected += 1;
+            return PushOutcome::Rejected;
+        }
+        self.inflight.push(InFlight {
+            remaining_gcycles: req.work_gcycles,
+            req,
+        });
+        self.epoch += 1;
+        PushOutcome::Accepted
+    }
+
+    /// Predict the next completion as `(eta, request_id)` given current
+    /// state. Call [`PsServer::advance`] first. The ETA is rounded up to
+    /// the next microsecond so the completion event never fires early.
+    pub fn next_completion(&self) -> Option<(SimTime, RequestId)> {
+        let mut best: Option<(f64, RequestId)> = None;
+        for f in &self.inflight {
+            let rate = self.rate_of(f);
+            debug_assert!(rate > 0.0);
+            let eta = f.remaining_gcycles / rate;
+            if best.is_none_or(|(b, _)| eta < b) {
+                best = Some((eta, f.req.id));
+            }
+        }
+        best.map(|(eta_s, id)| {
+            let micros = (eta_s * 1e6).ceil() as u64;
+            (self.last_advance + SimDuration::from_micros(micros), id)
+        })
+    }
+
+    /// Attempt to complete request `id` at `now`. Returns the request and
+    /// its sojourn time if its work is (within integration tolerance)
+    /// done; `None` if the ETA was stale and work remains.
+    pub fn try_complete(&mut self, now: SimTime, id: RequestId) -> Option<(Request, SimDuration)> {
+        self.advance(now);
+        let idx = self.inflight.iter().position(|f| f.req.id == id)?;
+        // Forgive up to 2 µs of residual work: completion events are
+        // scheduled at µs granularity rounded up, so residuals below one
+        // tick of extra service are integration noise, not stale ETAs.
+        let tol = self.rate_of(&self.inflight[idx]) * 2e-6;
+        if self.inflight[idx].remaining_gcycles > tol {
+            return None;
+        }
+        let f = self.inflight.swap_remove(idx);
+        self.epoch += 1;
+        self.completed += 1;
+        let sojourn = now.since(f.req.arrival);
+        Some((f.req, sojourn))
+    }
+
+    /// Drain every in-flight request (used when a breaker trips and the
+    /// node loses power). Returns the abandoned requests.
+    pub fn drain(&mut self, now: SimTime) -> Vec<Request> {
+        self.advance(now);
+        self.epoch += 1;
+        self.inflight.drain(..).map(|f| f.req).collect()
+    }
+
+    /// Ids and sojourns of in-flight requests older than their client
+    /// timeout (diagnostic; the simulation lets the server finish them —
+    /// the work still burns power — but clients have abandoned).
+    pub fn overdue(&self, now: SimTime) -> Vec<(RequestId, SimDuration)> {
+        self.inflight
+            .iter()
+            .filter_map(|f| {
+                let sojourn = now.checked_since(f.req.arrival)?;
+                f.req.abandoned(sojourn).then_some((f.req.id, sojourn))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestBuilder, SourceId, UrlId};
+    use proptest::prelude::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    fn server() -> PsServer {
+        PsServer::new(SimTime::ZERO, 4, 2.4, 64)
+    }
+
+    fn mk(b: &mut RequestBuilder, arrival: SimTime, work: f64, beta: f64) -> Request {
+        b.build(UrlId(0), SourceId(0), arrival, work, beta, 0.8, 0.9, false)
+    }
+
+    #[test]
+    fn single_request_completes_at_nominal_time() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        let r = mk(&mut b, SimTime::ZERO, 2.4, 1.0); // 1 s of work
+        assert_eq!(srv.push(SimTime::ZERO, r), PushOutcome::Accepted);
+        let (eta, id) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(1));
+        let (req, sojourn) = srv.try_complete(eta, id).unwrap();
+        assert_eq!(req.id, id);
+        assert_eq!(sojourn, SimDuration::from_secs(1));
+        assert!(srv.is_empty());
+        assert_eq!(srv.completed(), 1);
+    }
+
+    #[test]
+    fn processor_sharing_slows_when_oversubscribed() {
+        // 8 identical 1-second jobs on 4 cores: each gets a half core, so
+        // all complete at t = 2 s.
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        for _ in 0..8 {
+            srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        }
+        let (eta, _) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(2));
+    }
+
+    #[test]
+    fn underloaded_cores_not_shared() {
+        // 2 jobs on 4 cores: each gets a full core.
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        let (eta, _) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(1));
+        assert_eq!(srv.utilization(), 0.5);
+    }
+
+    #[test]
+    fn dvfs_slows_cpu_bound_work() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        srv.set_rel_freq(SimTime::ZERO, 0.5);
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        let (eta, _) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(2)); // half speed → double time
+    }
+
+    #[test]
+    fn dvfs_spares_memory_bound_work() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        srv.set_rel_freq(SimTime::ZERO, 0.5);
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 0.0)); // β = 0
+        let (eta, _) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(1)); // immune to frequency
+    }
+
+    #[test]
+    fn midflight_frequency_change_stretches_remaining_work() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        // Half the work done at full speed, then throttle to half speed:
+        // remaining 0.5 s of work takes 1 s.
+        srv.set_rel_freq(SimTime::from_millis(500), 0.5);
+        let (eta, _) = srv.next_completion().unwrap();
+        assert_eq!(eta, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn epoch_bumps_on_state_changes() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        let e0 = srv.epoch();
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        assert!(srv.epoch() > e0);
+        let e1 = srv.epoch();
+        srv.set_rel_freq(s(0), 0.8);
+        assert!(srv.epoch() > e1);
+        let e2 = srv.epoch();
+        // No-op frequency change does not bump.
+        srv.set_rel_freq(s(0), 0.8);
+        assert_eq!(srv.epoch(), e2);
+    }
+
+    #[test]
+    fn stale_completion_rejected() {
+        let mut b = RequestBuilder::new();
+        // A second arrival must invalidate the first ETA; use a 1-core
+        // server so the two jobs actually share.
+        let mut srv = PsServer::new(SimTime::ZERO, 1, 2.4, 64);
+        let r = mk(&mut b, SimTime::ZERO, 2.4, 1.0);
+        let id = {
+            let id = r.id;
+            srv.push(SimTime::ZERO, r);
+            id
+        };
+        let (eta, _) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(1));
+        srv.push(SimTime::from_millis(500), mk(&mut b, SimTime::from_millis(500), 2.4, 1.0));
+        // Old ETA is now stale: at t=1 s the first job has 0.25 s·2.4GHz of
+        // work left (it ran shared 0.5..1.0).
+        assert!(srv.try_complete(s(1), id).is_none());
+        let (eta2, next_id) = srv.next_completion().unwrap();
+        assert_eq!(next_id, id);
+        assert_eq!(eta2, SimTime::from_millis(1500));
+        assert!(srv.try_complete(eta2, id).is_some());
+        let _ = id;
+    }
+
+    #[test]
+    fn bounded_queue_rejects() {
+        let mut srv = PsServer::new(SimTime::ZERO, 1, 2.4, 2);
+        let mut b = RequestBuilder::new();
+        assert_eq!(
+            srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0)),
+            PushOutcome::Accepted
+        );
+        assert_eq!(
+            srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0)),
+            PushOutcome::Accepted
+        );
+        assert_eq!(
+            srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0)),
+            PushOutcome::Rejected
+        );
+        assert_eq!(srv.rejected(), 1);
+    }
+
+    #[test]
+    fn load_character_averages_mix() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        let r1 = b.build(UrlId(0), SourceId(0), SimTime::ZERO, 1.0, 1.0, 1.0, 1.0, false);
+        let r2 = b.build(UrlId(1), SourceId(0), SimTime::ZERO, 1.0, 0.0, 0.5, 0.5, true);
+        srv.push(SimTime::ZERO, r1);
+        srv.push(SimTime::ZERO, r2);
+        let (u, i, g) = srv.load_character();
+        assert_eq!(u, 0.5);
+        assert!((i - 0.75).abs() < 1e-12);
+        assert!((g - 0.75).abs() < 1e-12);
+        assert_eq!(server().load_character(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        for _ in 0..5 {
+            srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 2.4, 1.0));
+        }
+        let drained = srv.drain(s(0));
+        assert_eq!(drained.len(), 5);
+        assert!(srv.is_empty());
+    }
+
+    #[test]
+    fn overdue_detects_abandonment() {
+        let mut srv = PsServer::new(SimTime::ZERO, 1, 2.4, 64);
+        let mut b = RequestBuilder::new();
+        // Huge job: still running at t = 10 s; client timeout is 4 s.
+        srv.push(SimTime::ZERO, mk(&mut b, SimTime::ZERO, 1000.0, 1.0));
+        assert!(srv.overdue(s(4)).is_empty());
+        let od = srv.overdue(s(5));
+        assert_eq!(od.len(), 1);
+        assert_eq!(od[0].1, SimDuration::from_secs(5));
+    }
+
+    proptest! {
+        /// Work conservation: total G-cycles completed never exceed
+        /// capacity × time, and every accepted request eventually finishes.
+        #[test]
+        fn prop_all_complete_and_work_conserved(
+            works in proptest::collection::vec(0.1f64..5.0, 1..20),
+            betas in proptest::collection::vec(0.0f64..1.0, 20),
+        ) {
+            let mut srv = PsServer::new(SimTime::ZERO, 2, 2.4, 64);
+            let mut b = RequestBuilder::new();
+            let mut total_work = 0.0;
+            for (i, &w) in works.iter().enumerate() {
+                let r = b.build(UrlId(0), SourceId(0), SimTime::ZERO, w, betas[i], 0.5, 0.5, false);
+                total_work += w;
+                prop_assert_eq!(srv.push(SimTime::ZERO, r), PushOutcome::Accepted);
+            }
+            let mut finished = 0usize;
+            let mut last = SimTime::ZERO;
+            let mut guard = 0;
+            while let Some((eta, id)) = srv.next_completion() {
+                guard += 1;
+                prop_assert!(guard < 10_000, "completion loop did not converge");
+                prop_assert!(eta >= last);
+                if srv.try_complete(eta, id).is_some() {
+                    finished += 1;
+                    last = eta;
+                }
+            }
+            prop_assert_eq!(finished, works.len());
+            // Lower bound on makespan: total work / max throughput.
+            let min_secs = total_work / (2.0 * 2.4);
+            prop_assert!(last.as_secs_f64() >= min_secs - 1e-3,
+                "finished too fast: {} < {}", last.as_secs_f64(), min_secs);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The suspect list: URL → power intensity, built by offline profiling.
+//!
+//! Section 5.2: "Anti-DOPE establishes \[the\] suspect list by offline
+//! profiling the relationship between power and service types for
+//! heterogeneous requests." The list maps each URL to its measured
+//! per-request power intensity; URLs whose intensity exceeds a threshold
+//! are classified *suspect* and forwarded to the isolated pool.
+
+use crate::request::UrlId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// URL classification produced by PDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowClass {
+    /// High-power service type → isolated pool.
+    Suspect,
+    /// Ordinary traffic → main pool.
+    Innocent,
+}
+
+/// Offline-profiled URL → power-intensity map with a suspicion threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuspectList {
+    intensities: HashMap<UrlId, f64>,
+    threshold: f64,
+    /// Classification for URLs never profiled.
+    default_class: FlowClass,
+}
+
+impl SuspectList {
+    /// Empty list: everything classified `default_class` until profiled.
+    pub fn new(threshold: f64, default_class: FlowClass) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        SuspectList {
+            intensities: HashMap::new(),
+            threshold,
+            default_class,
+        }
+    }
+
+    /// The suspicion threshold on profiled intensity.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Record (or update) a profiled intensity for `url`.
+    pub fn set_profile(&mut self, url: UrlId, intensity: f64) {
+        assert!((0.0..=1.0).contains(&intensity), "intensity={intensity}");
+        self.intensities.insert(url, intensity);
+    }
+
+    /// Profiled intensity of `url`, if known.
+    pub fn intensity(&self, url: UrlId) -> Option<f64> {
+        self.intensities.get(&url).copied()
+    }
+
+    /// Classify a URL.
+    pub fn classify(&self, url: UrlId) -> FlowClass {
+        match self.intensities.get(&url) {
+            Some(&i) if i > self.threshold => FlowClass::Suspect,
+            Some(_) => FlowClass::Innocent,
+            None => self.default_class,
+        }
+    }
+
+    /// Convenience: is this URL suspect?
+    pub fn is_suspect(&self, url: UrlId) -> bool {
+        self.classify(url) == FlowClass::Suspect
+    }
+
+    /// Number of profiled URLs.
+    pub fn profiled(&self) -> usize {
+        self.intensities.len()
+    }
+
+    /// All suspect URLs, sorted by id for deterministic iteration.
+    pub fn suspects(&self) -> Vec<UrlId> {
+        let mut v: Vec<UrlId> = self
+            .intensities
+            .iter()
+            .filter(|(_, &i)| i > self.threshold)
+            .map(|(&u, _)| u)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_threshold() {
+        let mut sl = SuspectList::new(0.7, FlowClass::Innocent);
+        sl.set_profile(UrlId(0), 0.95); // Colla-Filt-like
+        sl.set_profile(UrlId(1), 0.9); // K-means-like
+        sl.set_profile(UrlId(2), 0.75); // Word-Count-like
+        sl.set_profile(UrlId(3), 0.35); // Text-Cont-like
+        assert!(sl.is_suspect(UrlId(0)));
+        assert!(sl.is_suspect(UrlId(1)));
+        assert!(sl.is_suspect(UrlId(2)));
+        assert!(!sl.is_suspect(UrlId(3)));
+        assert_eq!(sl.suspects(), vec![UrlId(0), UrlId(1), UrlId(2)]);
+    }
+
+    #[test]
+    fn unknown_urls_take_default() {
+        let innocent_default = SuspectList::new(0.5, FlowClass::Innocent);
+        assert_eq!(innocent_default.classify(UrlId(99)), FlowClass::Innocent);
+        let paranoid = SuspectList::new(0.5, FlowClass::Suspect);
+        assert_eq!(paranoid.classify(UrlId(99)), FlowClass::Suspect);
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_innocent() {
+        let mut sl = SuspectList::new(0.7, FlowClass::Innocent);
+        sl.set_profile(UrlId(0), 0.7);
+        assert!(!sl.is_suspect(UrlId(0)));
+    }
+
+    #[test]
+    fn reprofiling_overwrites() {
+        let mut sl = SuspectList::new(0.5, FlowClass::Innocent);
+        sl.set_profile(UrlId(0), 0.9);
+        assert!(sl.is_suspect(UrlId(0)));
+        sl.set_profile(UrlId(0), 0.1);
+        assert!(!sl.is_suspect(UrlId(0)));
+        assert_eq!(sl.profiled(), 1);
+        assert_eq!(sl.intensity(UrlId(0)), Some(0.1));
+    }
+}

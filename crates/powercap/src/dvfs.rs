@@ -1,0 +1,205 @@
+//! Per-server DVFS actuator with transition latency.
+//!
+//! Real frequency transitions are not instantaneous: the governor writes
+//! an MSR, the PLL relocks, and on the paper's testbed the effective lag
+//! of an ACPI transition plus driver overhead is on the order of
+//! milliseconds. The controller models a commanded *target* state that
+//! becomes *effective* after `transition_latency`. Commands issued while
+//! a transition is in flight re-target it (last-write-wins), matching how
+//! the Linux `userspace` governor behaves.
+
+use crate::pstate::{PState, PStateTable};
+use simcore::{SimDuration, SimTime};
+
+/// DVFS state machine for one server.
+#[derive(Debug, Clone)]
+pub struct DvfsController {
+    table: PStateTable,
+    /// State the hardware is actually running.
+    effective: PState,
+    /// State most recently commanded.
+    target: PState,
+    /// When the in-flight transition (if any) completes.
+    settles_at: Option<SimTime>,
+    transition_latency: SimDuration,
+    /// Count of commanded transitions (for reporting V/F churn).
+    transitions: u64,
+}
+
+impl DvfsController {
+    /// New controller at nominal frequency.
+    pub fn new(table: PStateTable, transition_latency: SimDuration) -> Self {
+        let top = table.max_state();
+        DvfsController {
+            table,
+            effective: top,
+            target: top,
+            settles_at: None,
+            transition_latency,
+            transitions: 0,
+        }
+    }
+
+    /// The ladder this controller drives.
+    pub fn table(&self) -> &PStateTable {
+        &self.table
+    }
+
+    /// Apply any transition that has settled by `now`. Call before
+    /// reading [`DvfsController::effective`] at a new timestamp.
+    pub fn advance(&mut self, now: SimTime) {
+        if let Some(t) = self.settles_at {
+            if now >= t {
+                self.effective = self.target;
+                self.settles_at = None;
+            }
+        }
+    }
+
+    /// Command a new target state at time `now`. Returns the instant at
+    /// which the new state becomes effective (immediately if the target
+    /// equals the current effective state and nothing is in flight).
+    pub fn command(&mut self, now: SimTime, target: PState) -> SimTime {
+        let target = self.table.clamp(target);
+        self.advance(now);
+        if target == self.effective && self.settles_at.is_none() {
+            self.target = target;
+            return now;
+        }
+        self.target = target;
+        self.transitions += 1;
+        let settle = now + self.transition_latency;
+        self.settles_at = Some(settle);
+        settle
+    }
+
+    /// The state the hardware is running as of the last `advance`.
+    pub fn effective(&self) -> PState {
+        self.effective
+    }
+
+    /// The most recently commanded state.
+    pub fn target(&self) -> PState {
+        self.target
+    }
+
+    /// When the pending transition settles, if one is in flight.
+    pub fn pending_settle(&self) -> Option<SimTime> {
+        self.settles_at
+    }
+
+    /// Number of transitions commanded so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Effective frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.table.freq_ghz(self.effective)
+    }
+
+    /// Effective frequency relative to nominal.
+    pub fn rel_freq(&self) -> f64 {
+        self.table.rel_freq(self.effective)
+    }
+
+    /// How many states below nominal the *effective* state sits — the
+    /// paper's "V/F reduction" y-axis in Fig 6.
+    pub fn vf_reduction_steps(&self) -> u8 {
+        self.table.max_state().0 - self.effective.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> DvfsController {
+        DvfsController::new(PStateTable::paper_default(), SimDuration::from_millis(10))
+    }
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn starts_at_nominal() {
+        let c = ctl();
+        assert_eq!(c.effective(), PStateTable::paper_default().max_state());
+        assert_eq!(c.vf_reduction_steps(), 0);
+        assert!((c.freq_ghz() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_takes_latency() {
+        let mut c = ctl();
+        let settle = c.command(ms(0), PState(5));
+        assert_eq!(settle, ms(10));
+        // Before settle: still nominal.
+        c.advance(ms(5));
+        assert_eq!(c.effective(), PState(12));
+        // At settle: new state.
+        c.advance(ms(10));
+        assert_eq!(c.effective(), PState(5));
+        assert_eq!(c.vf_reduction_steps(), 7);
+    }
+
+    #[test]
+    fn same_state_command_is_instant() {
+        let mut c = ctl();
+        let settle = c.command(ms(0), PState(12));
+        assert_eq!(settle, ms(0));
+        assert_eq!(c.transitions(), 0);
+    }
+
+    #[test]
+    fn inflight_retarget_last_write_wins() {
+        let mut c = ctl();
+        c.command(ms(0), PState(5));
+        c.command(ms(3), PState(8));
+        c.advance(ms(13));
+        assert_eq!(c.effective(), PState(8));
+        assert_eq!(c.transitions(), 2);
+    }
+
+    #[test]
+    fn retarget_back_to_effective_still_needs_settle() {
+        let mut c = ctl();
+        c.command(ms(0), PState(5));
+        // Command back to nominal while the downshift is in flight: the
+        // PLL still has to relock, so it is not instantaneous.
+        let settle = c.command(ms(3), PState(12));
+        assert_eq!(settle, ms(13));
+        c.advance(ms(13));
+        assert_eq!(c.effective(), PState(12));
+    }
+
+    #[test]
+    fn clamps_out_of_range_target() {
+        let mut c = ctl();
+        c.command(ms(0), PState(200));
+        c.advance(ms(10));
+        assert_eq!(c.effective(), PState(12));
+    }
+
+    #[test]
+    fn advance_is_idempotent() {
+        let mut c = ctl();
+        c.command(ms(0), PState(3));
+        c.advance(ms(10));
+        c.advance(ms(20));
+        c.advance(ms(10)); // re-reading an old timestamp is harmless
+        assert_eq!(c.effective(), PState(3));
+        assert_eq!(c.pending_settle(), None);
+    }
+
+    #[test]
+    fn freq_helpers_follow_effective() {
+        let mut c = ctl();
+        c.command(ms(0), PState(0));
+        c.advance(ms(10));
+        assert!((c.freq_ghz() - 1.2).abs() < 1e-12);
+        assert!((c.rel_freq() - 0.5).abs() < 1e-12);
+        assert_eq!(c.vf_reduction_steps(), 12);
+    }
+}

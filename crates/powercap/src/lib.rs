@@ -1,0 +1,53 @@
+//! # powercap — the power-management substrate
+//!
+//! Models everything the paper's testbed provided in hardware:
+//!
+//! * [`PStateTable`] — the ACPI DVFS ladder of the paper's leaf servers:
+//!   1.2–2.4 GHz in 0.1 GHz steps, with an affine voltage model and
+//!   `f·V²` relative dynamic power.
+//! * [`ServerPowerModel`] — nameplate/idle decomposition with per-service
+//!   *power intensity* and *frequency sensitivity* knobs (the γ of
+//!   DESIGN.md) — the two parameters that make Colla-Filt trip power
+//!   capping at low request rates while K-means resists DVFS savings.
+//! * [`DvfsController`] — per-server frequency actuator with transition
+//!   latency.
+//! * [`Rapl`] — RAPL-style "set a watt limit, hardware picks the
+//!   P-state" interface with enforcement delay.
+//! * [`Battery`] — rack UPS used for peak shaving: capacity, discharge /
+//!   charge rate limits, round-trip efficiency, exact depletion times.
+//! * [`PowerBudget`] / [`BudgetLevel`] — the paper's Normal/High/Medium/
+//!   Low-PB provisioning levels (100 / 90 / 85 / 80 %).
+//! * [`PowerHierarchy`] — server → rack → cluster aggregation with a
+//!   thermal breaker model.
+//! * [`PowerMonitor`] — sliding-window budget-violation detector feeding
+//!   the control loop.
+//! * [`UniformCapper`] — the search primitive behind the paper's
+//!   `Capping` baseline: the highest uniform P-state that satisfies the
+//!   budget.
+//! * [`ThermalNode`] — the cooling layer DOPE also targets: first-order
+//!   thermal model with PROCHOT clamping and critical trip.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod battery;
+pub mod budget;
+pub mod capper;
+pub mod dvfs;
+pub mod monitor;
+pub mod pdu;
+pub mod pstate;
+pub mod rapl;
+pub mod server_power;
+pub mod thermal;
+
+pub use battery::Battery;
+pub use budget::{BudgetLevel, PowerBudget};
+pub use capper::UniformCapper;
+pub use dvfs::DvfsController;
+pub use monitor::PowerMonitor;
+pub use pdu::{BreakerState, PowerHierarchy};
+pub use pstate::{PState, PStateTable};
+pub use rapl::Rapl;
+pub use server_power::ServerPowerModel;
+pub use thermal::{ThermalNode, ThermalState};

@@ -1,0 +1,253 @@
+//! Sliding-window power monitor and budget-violation detector.
+//!
+//! The paper's RPM keeps "a feedback link between server power monitor
+//! and server health checker" (Section 5.1). The monitor ingests one
+//! aggregate power sample per control slot, maintains a sliding window,
+//! and reports: the moving average, the window peak, and whether the
+//! budget is currently violated (with a configurable number of
+//! consecutive over-budget samples required, to filter single-sample
+//! noise from true emergencies).
+
+use crate::budget::PowerBudget;
+use dcmetrics::{OnlineSummary, P2Quantile};
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// Monitor verdict for the current slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerCondition {
+    /// Comfortably under budget (below the guard band).
+    Nominal,
+    /// Within the guard band under the budget — no action, but close.
+    NearBudget,
+    /// Over budget but not yet for enough consecutive samples.
+    Transient,
+    /// A sustained violation requiring intervention.
+    Emergency,
+}
+
+/// Sliding-window power monitor.
+#[derive(Debug, Clone)]
+pub struct PowerMonitor {
+    budget: PowerBudget,
+    /// Samples as (time, watts), newest at the back.
+    window: VecDeque<(SimTime, f64)>,
+    window_len: usize,
+    /// Fraction of the budget treated as the guard band (e.g. 0.05 means
+    /// "NearBudget" starts at 95 % of supply).
+    guard_fraction: f64,
+    /// Consecutive over-budget samples needed to declare an emergency.
+    emergency_after: usize,
+    consecutive_over: usize,
+    /// Lifetime stats over all samples.
+    lifetime: OnlineSummary,
+    /// Streaming p90 of observed power (P² estimator — O(1) memory).
+    p90: P2Quantile,
+    violations: u64,
+}
+
+impl PowerMonitor {
+    /// New monitor for `budget`, keeping `window_len` samples, declaring
+    /// an emergency after `emergency_after` consecutive violations.
+    pub fn new(budget: PowerBudget, window_len: usize, emergency_after: usize) -> Self {
+        assert!(window_len >= 1 && emergency_after >= 1);
+        PowerMonitor {
+            budget,
+            window: VecDeque::with_capacity(window_len),
+            window_len,
+            guard_fraction: 0.05,
+            emergency_after,
+            consecutive_over: 0,
+            lifetime: OnlineSummary::new(),
+            p90: P2Quantile::new(0.9),
+            violations: 0,
+        }
+    }
+
+    /// Replace the budget (e.g. when a scheme reallocates supply).
+    pub fn set_budget(&mut self, budget: PowerBudget) {
+        self.budget = budget;
+    }
+
+    /// The active budget.
+    pub fn budget(&self) -> &PowerBudget {
+        &self.budget
+    }
+
+    /// Ingest one aggregate sample and classify the condition.
+    pub fn observe(&mut self, t: SimTime, watts: f64) -> PowerCondition {
+        assert!(watts.is_finite() && watts >= 0.0);
+        if self.window.len() == self.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back((t, watts));
+        self.lifetime.record(watts);
+        self.p90.record(watts);
+
+        if self.budget.violated_by(watts) {
+            self.consecutive_over += 1;
+            self.violations += 1;
+            if self.consecutive_over >= self.emergency_after {
+                PowerCondition::Emergency
+            } else {
+                PowerCondition::Transient
+            }
+        } else {
+            self.consecutive_over = 0;
+            if watts >= self.budget.supply_w * (1.0 - self.guard_fraction) {
+                PowerCondition::NearBudget
+            } else {
+                PowerCondition::Nominal
+            }
+        }
+    }
+
+    /// Moving average over the window (0 when empty).
+    pub fn moving_average(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().map(|&(_, w)| w).sum::<f64>() / self.window.len() as f64
+    }
+
+    /// Peak within the window.
+    pub fn window_peak(&self) -> Option<f64> {
+        self.window
+            .iter()
+            .map(|&(_, w)| w)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.max(w))))
+    }
+
+    /// Most recent sample.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.window.back().copied()
+    }
+
+    /// Deficit of the latest sample vs the budget (0 when under).
+    pub fn deficit_w(&self) -> f64 {
+        self.last()
+            .map(|(_, w)| (w - self.budget.supply_w).max(0.0))
+            .unwrap_or(0.0)
+    }
+
+    /// Lifetime count of over-budget samples.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Lifetime sample statistics.
+    pub fn lifetime(&self) -> &OnlineSummary {
+        &self.lifetime
+    }
+
+    /// Streaming estimate of the 90th-percentile power sample — the
+    /// health checker's "how close do peaks run to the budget" signal.
+    pub fn p90_power(&self) -> Option<f64> {
+        self.p90.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetLevel;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    fn mon() -> PowerMonitor {
+        // 400 W nameplate at Medium-PB → 340 W budget, window 5, 3 strikes.
+        PowerMonitor::new(
+            PowerBudget::for_cluster(400.0, BudgetLevel::Medium),
+            5,
+            3,
+        )
+    }
+
+    #[test]
+    fn nominal_under_guard() {
+        let mut m = mon();
+        assert_eq!(m.observe(s(0), 200.0), PowerCondition::Nominal);
+        assert_eq!(m.deficit_w(), 0.0);
+    }
+
+    #[test]
+    fn near_budget_in_guard_band() {
+        let mut m = mon();
+        // Guard band: [323, 340].
+        assert_eq!(m.observe(s(0), 330.0), PowerCondition::NearBudget);
+        assert_eq!(m.observe(s(1), 322.0), PowerCondition::Nominal);
+    }
+
+    #[test]
+    fn emergency_needs_consecutive_strikes() {
+        let mut m = mon();
+        assert_eq!(m.observe(s(0), 350.0), PowerCondition::Transient);
+        assert_eq!(m.observe(s(1), 350.0), PowerCondition::Transient);
+        assert_eq!(m.observe(s(2), 350.0), PowerCondition::Emergency);
+        assert_eq!(m.violations(), 3);
+        assert!((m.deficit_w() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dip_resets_strikes() {
+        let mut m = mon();
+        m.observe(s(0), 350.0);
+        m.observe(s(1), 350.0);
+        assert_eq!(m.observe(s(2), 300.0), PowerCondition::Nominal);
+        assert_eq!(m.observe(s(3), 350.0), PowerCondition::Transient);
+    }
+
+    #[test]
+    fn window_statistics() {
+        let mut m = mon();
+        for (i, w) in [100.0, 200.0, 300.0].iter().enumerate() {
+            m.observe(s(i as u64), *w);
+        }
+        assert!((m.moving_average() - 200.0).abs() < 1e-9);
+        assert_eq!(m.window_peak(), Some(300.0));
+        assert_eq!(m.last(), Some((s(2), 300.0)));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut m = mon();
+        for i in 0..7 {
+            m.observe(s(i), i as f64 * 10.0);
+        }
+        // Window holds samples 2..=6 → average 40.
+        assert!((m.moving_average() - 40.0).abs() < 1e-9);
+        assert_eq!(m.window_peak(), Some(60.0));
+    }
+
+    #[test]
+    fn budget_swap() {
+        let mut m = mon();
+        m.set_budget(PowerBudget::for_cluster(400.0, BudgetLevel::Low)); // 320 W
+        assert_eq!(m.observe(s(0), 330.0), PowerCondition::Transient);
+    }
+
+    #[test]
+    fn p90_estimate_tracks_peaks() {
+        let mut m = mon();
+        // 90 samples at 200 W, 10 at 380 W → p90 sits near the peak band.
+        for i in 0..100 {
+            let w = if i % 10 == 9 { 380.0 } else { 200.0 };
+            m.observe(s(i), w);
+        }
+        let p90 = m.p90_power().unwrap();
+        assert!((200.0..=380.0).contains(&p90), "p90={p90}");
+        assert!(p90 >= 199.0);
+    }
+
+    #[test]
+    fn lifetime_summary_accumulates() {
+        let mut m = mon();
+        for i in 0..10 {
+            m.observe(s(i), 100.0 + i as f64);
+        }
+        assert_eq!(m.lifetime().count(), 10);
+        assert!((m.lifetime().mean() - 104.5).abs() < 1e-9);
+    }
+}

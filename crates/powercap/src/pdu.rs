@@ -1,0 +1,278 @@
+//! Power-distribution hierarchy and breaker model.
+//!
+//! Aggregates per-server power up through racks to the cluster feed, and
+//! models the circuit breaker that makes sustained budget violations an
+//! *outage* rather than an inconvenience — the end state a successful
+//! DOPE attack drives an unprotected cluster toward (Fig 1's "unplanned
+//! outages").
+//!
+//! Breakers follow an inverse-time characteristic approximated with a
+//! sustained-overload rule: the breaker trips when load exceeds its
+//! rating continuously for its trip delay. Short excursions reset.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Breaker condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Carrying load normally.
+    Closed,
+    /// Over rating; will trip at the contained instant if not relieved.
+    Overloaded {
+        /// When the breaker opens if the overload persists.
+        trips_at: SimTime,
+    },
+    /// Open: the feed is lost (an outage).
+    Tripped {
+        /// When the breaker opened.
+        at: SimTime,
+    },
+}
+
+/// One feed (rack PDU or cluster switchboard) with a breaker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Feed {
+    name: String,
+    rating_w: f64,
+    trip_delay: SimDuration,
+    state: BreakerState,
+    /// Server indices attached to this feed.
+    members: Vec<usize>,
+}
+
+/// A two-level power hierarchy: servers grouped into rack feeds, racks
+/// behind one cluster feed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerHierarchy {
+    server_power_w: Vec<f64>,
+    racks: Vec<Feed>,
+    cluster: Feed,
+}
+
+impl PowerHierarchy {
+    /// Build a hierarchy of `servers` nodes split evenly into `racks`
+    /// racks. Rack breakers are rated at `rack_rating_w`; the cluster
+    /// breaker at `cluster_rating_w`.
+    pub fn new(
+        servers: usize,
+        racks: usize,
+        rack_rating_w: f64,
+        cluster_rating_w: f64,
+        trip_delay: SimDuration,
+    ) -> Self {
+        assert!(servers > 0 && racks > 0 && racks <= servers);
+        let mut rack_feeds = Vec::with_capacity(racks);
+        for r in 0..racks {
+            let members: Vec<usize> = (0..servers).filter(|s| s % racks == r).collect();
+            rack_feeds.push(Feed {
+                name: format!("rack{r}"),
+                rating_w: rack_rating_w,
+                trip_delay,
+                state: BreakerState::Closed,
+                members,
+            });
+        }
+        PowerHierarchy {
+            server_power_w: vec![0.0; servers],
+            racks: rack_feeds,
+            cluster: Feed {
+                name: "cluster".to_string(),
+                rating_w: cluster_rating_w,
+                trip_delay,
+                state: BreakerState::Closed,
+                members: (0..servers).collect(),
+            },
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.server_power_w.len()
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Indices of the servers on rack `r`.
+    pub fn rack_members(&self, r: usize) -> &[usize] {
+        &self.racks[r].members
+    }
+
+    /// Report a server's instantaneous power and re-evaluate breakers.
+    pub fn set_server_power(&mut self, now: SimTime, server: usize, watts: f64) {
+        assert!(watts >= 0.0, "negative power: {watts}");
+        self.server_power_w[server] = watts;
+        self.evaluate(now);
+    }
+
+    /// Update many servers at once, then evaluate breakers once.
+    pub fn set_all(&mut self, now: SimTime, watts: &[f64]) {
+        assert_eq!(watts.len(), self.server_power_w.len());
+        self.server_power_w.copy_from_slice(watts);
+        self.evaluate(now);
+    }
+
+    /// Current aggregate cluster power, watts.
+    pub fn cluster_power_w(&self) -> f64 {
+        self.server_power_w.iter().sum()
+    }
+
+    /// Current aggregate power on rack `r`, watts.
+    pub fn rack_power_w(&self, r: usize) -> f64 {
+        self.racks[r]
+            .members
+            .iter()
+            .map(|&s| self.server_power_w[s])
+            .sum()
+    }
+
+    /// The cluster breaker state.
+    pub fn cluster_breaker(&self) -> BreakerState {
+        self.cluster.state
+    }
+
+    /// Breaker state of rack `r`.
+    pub fn rack_breaker(&self, r: usize) -> BreakerState {
+        self.racks[r].state
+    }
+
+    /// True if any breaker is open.
+    pub fn any_tripped(&self) -> bool {
+        matches!(self.cluster.state, BreakerState::Tripped { .. })
+            || self
+                .racks
+                .iter()
+                .any(|f| matches!(f.state, BreakerState::Tripped { .. }))
+    }
+
+    fn evaluate(&mut self, now: SimTime) {
+        let cluster_load = self.cluster_power_w();
+        let rack_loads: Vec<f64> = (0..self.racks.len()).map(|r| self.rack_power_w(r)).collect();
+        for (feed, load) in self
+            .racks
+            .iter_mut()
+            .zip(rack_loads)
+            .chain(std::iter::once((&mut self.cluster, cluster_load)))
+        {
+            feed.state = match feed.state {
+                BreakerState::Tripped { at } => BreakerState::Tripped { at },
+                BreakerState::Closed => {
+                    if load > feed.rating_w {
+                        BreakerState::Overloaded {
+                            trips_at: now + feed.trip_delay,
+                        }
+                    } else {
+                        BreakerState::Closed
+                    }
+                }
+                BreakerState::Overloaded { trips_at } => {
+                    if load <= feed.rating_w {
+                        BreakerState::Closed
+                    } else if now >= trips_at {
+                        BreakerState::Tripped { at: now }
+                    } else {
+                        BreakerState::Overloaded { trips_at }
+                    }
+                }
+            };
+        }
+    }
+
+    /// Advance time without a load change (lets pending overloads mature
+    /// into trips). Call once per control slot.
+    pub fn tick(&mut self, now: SimTime) {
+        self.evaluate(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    fn rig() -> PowerHierarchy {
+        // 4 servers, 2 racks; rack rating 220 W, cluster 420 W, 5 s delay.
+        PowerHierarchy::new(4, 2, 220.0, 420.0, SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn members_partition_servers() {
+        let h = rig();
+        assert_eq!(h.rack_members(0), &[0, 2]);
+        assert_eq!(h.rack_members(1), &[1, 3]);
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut h = rig();
+        h.set_all(s(0), &[50.0, 60.0, 70.0, 80.0]);
+        assert!((h.cluster_power_w() - 260.0).abs() < 1e-12);
+        assert!((h.rack_power_w(0) - 120.0).abs() < 1e-12);
+        assert!((h.rack_power_w(1) - 140.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_overload_trips() {
+        let mut h = rig();
+        h.set_all(s(0), &[110.0, 0.0, 120.0, 0.0]); // rack0 = 230 > 220
+        assert!(matches!(h.rack_breaker(0), BreakerState::Overloaded { .. }));
+        h.tick(s(4));
+        assert!(matches!(h.rack_breaker(0), BreakerState::Overloaded { .. }));
+        h.tick(s(5));
+        assert!(matches!(h.rack_breaker(0), BreakerState::Tripped { .. }));
+        assert!(h.any_tripped());
+    }
+
+    #[test]
+    fn relieved_overload_resets() {
+        let mut h = rig();
+        h.set_all(s(0), &[110.0, 0.0, 120.0, 0.0]);
+        h.set_all(s(3), &[100.0, 0.0, 100.0, 0.0]); // back under rating
+        assert_eq!(h.rack_breaker(0), BreakerState::Closed);
+        // A fresh overload restarts the full delay.
+        h.set_all(s(4), &[110.0, 0.0, 120.0, 0.0]);
+        h.tick(s(8));
+        assert!(matches!(h.rack_breaker(0), BreakerState::Overloaded { .. }));
+        h.tick(s(9));
+        assert!(matches!(h.rack_breaker(0), BreakerState::Tripped { .. }));
+    }
+
+    #[test]
+    fn cluster_breaker_sees_total() {
+        let mut h = rig();
+        // Each rack under its own rating, but total over cluster rating.
+        h.set_all(s(0), &[109.0, 109.0, 109.0, 109.0]); // 436 > 420, racks at 218
+        assert_eq!(h.rack_breaker(0), BreakerState::Closed);
+        assert!(matches!(
+            h.cluster_breaker(),
+            BreakerState::Overloaded { .. }
+        ));
+        h.tick(s(5));
+        assert!(matches!(h.cluster_breaker(), BreakerState::Tripped { .. }));
+    }
+
+    #[test]
+    fn tripped_is_latched() {
+        let mut h = rig();
+        h.set_all(s(0), &[110.0, 0.0, 120.0, 0.0]);
+        h.tick(s(5));
+        assert!(h.any_tripped());
+        // Load relief does not close an open breaker.
+        h.set_all(s(6), &[0.0, 0.0, 0.0, 0.0]);
+        assert!(h.any_tripped());
+    }
+
+    #[test]
+    fn single_server_update() {
+        let mut h = rig();
+        h.set_server_power(s(0), 2, 99.0);
+        assert!((h.rack_power_w(0) - 99.0).abs() < 1e-12);
+        assert!((h.cluster_power_w() - 99.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! The simulation run loop.
+//!
+//! An [`Engine`] owns the clock, the event queue, and a user-supplied
+//! [`SimModel`]. The model handles one event at a time and schedules
+//! follow-up events through a [`Scheduler`] handle. Keeping scheduling
+//! behind a handle (rather than giving the model `&mut Engine`) means the
+//! borrow checker allows the model to mutate itself freely while
+//! scheduling, and it lets the engine enforce the "no scheduling in the
+//! past" invariant in exactly one place.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation model: application state plus an event handler.
+pub trait SimModel {
+    /// The event payload type this model exchanges with the engine.
+    type Event;
+
+    /// Handle one event delivered at simulated instant `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handle through which a model schedules future events during `handle`.
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Scheduler {
+            now,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute instant `time`. Panics if `time` is
+    /// in the past — a model that needs "immediately" should schedule at
+    /// `self.now()`.
+    #[inline]
+    pub fn at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "attempt to schedule into the past: {time} < {}",
+            self.now
+        );
+        self.pending.push((time, event));
+    }
+
+    /// Schedule `event` after `delay` from now.
+    #[inline]
+    pub fn after(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` for immediate delivery (same timestamp, after all
+    /// events already queued for this instant).
+    #[inline]
+    pub fn now_event(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+
+    /// Number of events staged in this handler invocation.
+    pub fn staged(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon was reached (remaining events are later than it).
+    HorizonReached,
+    /// The event-count budget was exhausted.
+    EventBudgetExhausted,
+}
+
+/// The discrete-event engine: clock + queue + model.
+pub struct Engine<M: SimModel> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl<M: SimModel> Engine<M> {
+    /// Wrap `model` with a fresh clock at `t = 0` and an empty queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time (delivery time of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (e.g. to install probes between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedule an event from outside the run loop (initial conditions).
+    /// Panics if `time` is before the current clock.
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        assert!(
+            time >= self.now,
+            "attempt to schedule into the past: {time} < {}",
+            self.now
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Run until the queue empties, `horizon` is passed, or `max_events`
+    /// is hit — whichever comes first.
+    ///
+    /// Events stamped exactly at `horizon` ARE processed; the first event
+    /// strictly later is left pending and the clock is advanced to
+    /// `horizon`, so consecutive `run` calls compose seamlessly.
+    pub fn run(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        let mut budget = max_events;
+        loop {
+            if budget == 0 {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => {
+                    // Advance to the horizon so time-integrated observers
+                    // (power monitors, energy meters) see the full window.
+                    if horizon > self.now {
+                        self.now = horizon;
+                    }
+                    return RunOutcome::QueueEmpty;
+                }
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    debug_assert!(ev.time >= self.now, "event queue went backwards");
+                    self.now = ev.time;
+                    let mut sched = Scheduler::new(self.now);
+                    self.model.handle(self.now, ev.event, &mut sched);
+                    for (t, e) in sched.pending {
+                        self.queue.push(t, e);
+                    }
+                    self.events_processed += 1;
+                    budget -= 1;
+                }
+            }
+        }
+    }
+
+    /// Run until `horizon` with an effectively unlimited event budget.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run(horizon, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+        respawn: Option<(SimDuration, u32)>,
+    }
+
+    impl SimModel for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.log.push((now, ev));
+            if let Some((period, tag)) = self.respawn {
+                if ev == tag {
+                    sched.after(period, tag);
+                }
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            log: Vec::new(),
+            respawn: None,
+        }
+    }
+
+    #[test]
+    fn delivers_in_order() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::from_secs(2), 2);
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(3), 3);
+        let out = e.run_until(SimTime::from_secs(10));
+        assert_eq!(out, RunOutcome::QueueEmpty);
+        let evs: Vec<u32> = e.model().log.iter().map(|&(_, v)| v).collect();
+        assert_eq!(evs, vec![1, 2, 3]);
+        // Queue drained: clock advanced to the horizon.
+        assert_eq!(e.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::from_secs(5), 1);
+        e.schedule(SimTime::from_micros(5_000_001), 2);
+        let out = e.run_until(SimTime::from_secs(5));
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(e.model().log.len(), 1);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.pending_events(), 1);
+    }
+
+    #[test]
+    fn runs_compose_across_horizons() {
+        let mut e = Engine::new(Recorder {
+            log: Vec::new(),
+            respawn: Some((SimDuration::from_secs(1), 7)),
+        });
+        e.schedule(SimTime::from_secs(1), 7);
+        e.run_until(SimTime::from_secs(5));
+        let first = e.model().log.len();
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(first, 5);
+        assert_eq!(e.model().log.len(), 10);
+    }
+
+    #[test]
+    fn event_budget_stops_early() {
+        let mut e = Engine::new(Recorder {
+            log: Vec::new(),
+            respawn: Some((SimDuration::from_millis(1), 1)),
+        });
+        e.schedule(SimTime::ZERO, 1);
+        let out = e.run(SimTime::from_secs(1000), 50);
+        assert_eq!(out, RunOutcome::EventBudgetExhausted);
+        assert_eq!(e.events_processed(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::from_secs(5), 1);
+        e.run_until(SimTime::from_secs(6));
+        e.schedule(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn now_event_runs_same_timestamp_fifo() {
+        struct Chain;
+        impl SimModel for Chain {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                if ev < 3 {
+                    sched.now_event(ev + 1);
+                }
+            }
+        }
+        let mut e = Engine::new(Chain);
+        e.schedule(SimTime::from_secs(1), 0);
+        e.run_until(SimTime::from_secs(1));
+        assert_eq!(e.events_processed(), 4);
+        assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn empty_run_advances_clock() {
+        let mut e = Engine::new(recorder());
+        assert_eq!(e.run_until(SimTime::from_secs(3)), RunOutcome::QueueEmpty);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+    }
+}

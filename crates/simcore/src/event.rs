@@ -1,0 +1,218 @@
+//! The event queue: a binary heap ordered by `(time, seq)`.
+//!
+//! The sequence number breaks ties between events scheduled for the same
+//! instant: they pop in the order they were pushed. Without this, heap
+//! ordering of equal keys would depend on interior heap layout, and
+//! simulations would stop being reproducible the moment two events share a
+//! timestamp — which happens constantly with slotted controllers.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload together with its delivery time and tiebreak sequence.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Delivery instant.
+    pub time: SimTime,
+    /// Monotonic insertion counter; earlier-scheduled events win ties.
+    pub seq: u64,
+    /// The payload delivered to the model.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// All scheduling in the simulator funnels through this queue. Popping
+/// always yields the event with the smallest `(time, seq)` pair.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` for delivery at `time`. Returns the sequence
+    /// number assigned to the event.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+        seq
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// The delivery time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop all pending events (sequence counter keeps advancing so
+    /// ordering guarantees survive a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_and_times() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), "t2-first");
+        q.push(SimTime::from_secs(1), "t1-first");
+        q.push(SimTime::from_secs(2), "t2-second");
+        q.push(SimTime::from_secs(1), "t1-second");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec!["t1-first", "t1-second", "t2-first", "t2-second"]);
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+        // New events after clear still get fresh sequence numbers.
+        let seq = q.push(SimTime::ZERO, ());
+        assert_eq!(seq, 2);
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing (time, seq) sequence,
+        /// and for equal times seq strictly increases (FIFO).
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(*t), i);
+            }
+            let mut prev: Option<(SimTime, u64)> = None;
+            while let Some(s) = q.pop() {
+                if let Some((pt, ps)) = prev {
+                    prop_assert!(s.time >= pt);
+                    if s.time == pt {
+                        prop_assert!(s.seq > ps);
+                    }
+                }
+                prev = Some((s.time, s.seq));
+            }
+        }
+
+        /// The queue returns exactly the multiset of events pushed.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..50, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(*t), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate every other crate in the Anti-DOPE
+//! reproduction builds on. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulated
+//!   clock with explicit, overflow-checked arithmetic.
+//! * [`EventQueue`] — a binary-heap event queue with a monotonically
+//!   increasing sequence number as tiebreaker, so events scheduled at the
+//!   same timestamp are delivered in scheduling order. This makes every
+//!   simulation **bit-deterministic** for a fixed seed.
+//! * [`rng`] — a self-contained `SplitMix64`/`xoshiro256**` PRNG with
+//!   label-derived sub-streams ([`rng::RngFactory`]), so each simulation
+//!   component draws from its own independent, reproducible stream and
+//!   adding a component never perturbs the randomness seen by others.
+//! * [`Engine`] — a run loop that owns the clock and the queue and
+//!   dispatches events to a user [`SimModel`], with stop conditions on
+//!   simulated time and event count.
+//! * [`trace`] — a bounded ring-buffer event trace for post-mortem
+//!   debugging of simulations.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::{Engine, SimModel, SimTime, SimDuration, Scheduler};
+//!
+//! /// Counts ticks of a periodic timer.
+//! struct Ticker { period: SimDuration, ticks: u64 }
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! enum Ev { Tick }
+//!
+//! impl SimModel for Ticker {
+//!     type Event = Ev;
+//!     fn handle(&mut self, now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+//!         self.ticks += 1;
+//!         sched.at(now + self.period, Ev::Tick);
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Ticker { period: SimDuration::from_secs(1), ticks: 0 });
+//! engine.schedule(SimTime::from_secs(1), Ev::Tick);
+//! engine.run_until(SimTime::from_secs(10));
+//! assert_eq!(engine.model().ticks, 10); // ticks at t = 1..=10 s inclusive
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, RunOutcome, Scheduler, SimModel};
+pub use event::{EventQueue, Scheduled};
+pub use rng::{RngFactory, SimRng};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceEntry};

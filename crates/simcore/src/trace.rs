@@ -1,0 +1,198 @@
+//! A bounded ring-buffer trace of simulation events for post-mortem
+//! debugging.
+//!
+//! Full event logging of a multi-hour simulated run is prohibitively
+//! large; what you usually need when a run misbehaves is "the last N
+//! things that happened". `TraceBuffer` keeps exactly that, with zero
+//! allocation per record once warm.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Emitting component (static string to keep records cheap).
+    pub component: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.component, self.message)
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEntry`] records.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceBuffer {
+    /// Create a buffer holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: capacity > 0,
+        }
+    }
+
+    /// A disabled buffer that records nothing (used as the default so hot
+    /// paths can call `record` unconditionally).
+    pub fn disabled() -> Self {
+        TraceBuffer::new(0)
+    }
+
+    /// Enable or disable recording at runtime.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled && self.capacity > 0;
+    }
+
+    /// True if records are currently being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an already-formatted message.
+    pub fn record(&mut self, time: SimTime, component: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            component,
+            message,
+        });
+    }
+
+    /// Record lazily: the closure only runs when tracing is enabled, so a
+    /// disabled buffer costs one branch.
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        component: &'static str,
+        f: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.record(time, component, f());
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many records were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the whole buffer, one record per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+        }
+        for e in &self.entries {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_last_n() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), "test", format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        t.record(SimTime::ZERO, "x", "hello".into());
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn record_with_skips_closure_when_disabled() {
+        let mut t = TraceBuffer::disabled();
+        let mut called = false;
+        t.record_with(SimTime::ZERO, "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+
+        let mut t = TraceBuffer::new(4);
+        t.record_with(SimTime::ZERO, "x", || "lazy".into());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn toggle_enabled() {
+        let mut t = TraceBuffer::new(4);
+        t.set_enabled(false);
+        t.record(SimTime::ZERO, "x", "a".into());
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, "x", "b".into());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dump_mentions_dropped() {
+        let mut t = TraceBuffer::new(1);
+        t.record(SimTime::ZERO, "c", "first".into());
+        t.record(SimTime::from_secs(1), "c", "second".into());
+        let d = t.dump();
+        assert!(d.contains("1 earlier records dropped"));
+        assert!(d.contains("second"));
+        assert!(!d.contains("first\n"));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEntry {
+            time: SimTime::from_secs(2),
+            component: "nlb",
+            message: "forwarded".into(),
+        };
+        assert_eq!(format!("{e}"), "[t=2.000000s] nlb: forwarded");
+    }
+}

@@ -1,0 +1,433 @@
+//! Attack-tool models: http-load and ApacheBench (Table 1's DoS rows).
+//!
+//! * [`AttackTool::HttpLoad`] — open-loop: fires requests at a constant
+//!   aggregate rate regardless of responses, spread over a botnet of
+//!   client addresses ("manipulates a group of recruited agents", §2).
+//! * [`AttackTool::ApacheBench`] — closed-loop: holds `concurrency`
+//!   requests outstanding; a new one is sent only when one completes
+//!   (AB's `-c` flag). Closed-loop attacks self-throttle when the victim
+//!   slows down — one reason open-loop floods are the more dangerous
+//!   power weapon.
+
+use crate::floods::FloodKind;
+use crate::service::ServiceKind;
+use crate::source::{SourceEvent, TrafficSource};
+use netsim::request::{Request, RequestBuilder, SourceId, UrlId};
+use simcore::rng::SimRng;
+use simcore::{SimDuration, SimTime};
+
+/// Which tool generates the attack traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackTool {
+    /// Open-loop flood at `rate` requests/s aggregate.
+    HttpLoad {
+        /// Aggregate request rate, requests/s.
+        rate: f64,
+    },
+    /// Closed-loop with `concurrency` outstanding requests.
+    ApacheBench {
+        /// Maximum outstanding requests.
+        concurrency: u32,
+    },
+}
+
+/// Demand parameters for the attack's requests.
+#[derive(Debug, Clone, Copy)]
+struct Demand {
+    url: UrlId,
+    mean_work: f64,
+    beta: f64,
+    intensity: f64,
+    gamma: f64,
+}
+
+/// A configurable attack traffic source.
+pub struct FloodSource {
+    tool: AttackTool,
+    demand: Demand,
+    /// Botnet addresses `[source_base, source_base + bots)`.
+    source_base: u32,
+    bots: u32,
+    bot_cursor: u32,
+    builder: RequestBuilder,
+    rng: SimRng,
+    clock: SimTime,
+    start: SimTime,
+    stop: SimTime,
+    /// Closed-loop state: outstanding request count.
+    outstanding: u32,
+    label: String,
+    blocked_seen: u64,
+}
+
+impl FloodSource {
+    /// Attack a victim service kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn against_service(
+        tool: AttackTool,
+        victim: ServiceKind,
+        source_base: u32,
+        bots: u32,
+        id_base: u64,
+        start: SimTime,
+        stop: SimTime,
+        seed: u64,
+    ) -> Self {
+        let p = victim.profile();
+        Self::new(
+            tool,
+            Demand {
+                url: victim.url(),
+                mean_work: p.mean_work_gcycles,
+                beta: p.beta,
+                intensity: p.intensity,
+                gamma: p.gamma,
+            },
+            source_base,
+            bots,
+            id_base,
+            start,
+            stop,
+            seed,
+            format!("{}@{}", tool_name(tool), victim.name()),
+        )
+    }
+
+    /// Launch one of the Fig 3 flood kinds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flood(
+        kind: FloodKind,
+        rate: f64,
+        source_base: u32,
+        bots: u32,
+        id_base: u64,
+        start: SimTime,
+        stop: SimTime,
+        seed: u64,
+    ) -> Self {
+        let p = kind.params();
+        Self::new(
+            AttackTool::HttpLoad { rate },
+            Demand {
+                url: p.url,
+                mean_work: p.work_gcycles,
+                beta: p.beta,
+                intensity: p.intensity,
+                gamma: p.gamma,
+            },
+            source_base,
+            bots,
+            id_base,
+            start,
+            stop,
+            seed,
+            kind.name().to_string(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        tool: AttackTool,
+        demand: Demand,
+        source_base: u32,
+        bots: u32,
+        id_base: u64,
+        start: SimTime,
+        stop: SimTime,
+        seed: u64,
+        label: String,
+    ) -> Self {
+        assert!(bots >= 1);
+        assert!(stop > start);
+        if let AttackTool::HttpLoad { rate } = tool {
+            assert!(rate > 0.0);
+        }
+        FloodSource {
+            tool,
+            demand,
+            source_base,
+            bots,
+            bot_cursor: 0,
+            builder: RequestBuilder::starting_at(id_base),
+            rng: SimRng::new(seed),
+            clock: start,
+            start,
+            stop,
+            outstanding: 0,
+            label,
+            blocked_seen: 0,
+        }
+    }
+
+    /// Aggregate rate for open-loop tools.
+    pub fn rate(&self) -> Option<f64> {
+        match self.tool {
+            AttackTool::HttpLoad { rate } => Some(rate),
+            AttackTool::ApacheBench { .. } => None,
+        }
+    }
+
+    /// Per-bot rate for open-loop tools (what the firewall sees).
+    pub fn per_bot_rate(&self) -> Option<f64> {
+        self.rate().map(|r| r / self.bots as f64)
+    }
+
+    /// Blocked events observed so far.
+    pub fn blocked_seen(&self) -> u64 {
+        self.blocked_seen
+    }
+
+    fn build(&mut self, arrival: SimTime) -> Request {
+        // Deterministic round-robin over the botnet: every agent behaves
+        // identically "like a normal user at the networking level".
+        let bot = SourceId(self.source_base + self.bot_cursor % self.bots);
+        self.bot_cursor = self.bot_cursor.wrapping_add(1);
+        // Work jitter: ±20 % uniform (attack tools replay fixed queries).
+        let work = self.demand.mean_work * self.rng.range_f64(0.8, 1.2);
+        self.builder.build(
+            self.demand.url,
+            bot,
+            arrival,
+            work,
+            self.demand.beta,
+            self.demand.intensity,
+            self.demand.gamma,
+            true,
+        )
+    }
+}
+
+fn tool_name(tool: AttackTool) -> &'static str {
+    match tool {
+        AttackTool::HttpLoad { .. } => "http-load",
+        AttackTool::ApacheBench { .. } => "ab",
+    }
+}
+
+impl TrafficSource for FloodSource {
+    fn next_request(&mut self, now: SimTime) -> Option<Request> {
+        if now >= self.stop {
+            return None;
+        }
+        match self.tool {
+            AttackTool::HttpLoad { rate } => {
+                if self.clock < now.max(self.start) {
+                    self.clock = now.max(self.start);
+                }
+                let gap = self.rng.exp(rate);
+                self.clock += SimDuration::from_secs_f64(gap.max(1e-9));
+                if self.clock >= self.stop {
+                    return None;
+                }
+                Some(self.build(self.clock))
+            }
+            AttackTool::ApacheBench { concurrency } => {
+                if self.outstanding >= concurrency {
+                    return None; // dormant until a completion feeds back
+                }
+                self.outstanding += 1;
+                let arrival = now.max(self.start);
+                if arrival >= self.stop {
+                    return None;
+                }
+                Some(self.build(arrival))
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn feedback(&mut self, _now: SimTime, event: SourceEvent) {
+        match event {
+            SourceEvent::Completed(_) => {
+                if matches!(self.tool, AttackTool::ApacheBench { .. }) {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                }
+            }
+            SourceEvent::Blocked(_) => {
+                self.blocked_seen += 1;
+                if matches!(self.tool, AttackTool::ApacheBench { .. }) {
+                    // A blocked request also frees an AB slot.
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                }
+            }
+            SourceEvent::Rejected(_) => {
+                // A 503 is not a detection; it only frees an AB slot.
+                if matches!(self.tool, AttackTool::ApacheBench { .. }) {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    fn is_attacker(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn http_load_rate_is_calibrated() {
+        let mut f = FloodSource::against_service(
+            AttackTool::HttpLoad { rate: 200.0 },
+            ServiceKind::CollaFilt,
+            5000,
+            20,
+            1 << 40,
+            s(0),
+            s(60),
+            1,
+        );
+        let mut count = 0;
+        let mut last = SimTime::ZERO;
+        while let Some(r) = f.next_request(last) {
+            assert!(r.is_attack);
+            assert_eq!(r.url, ServiceKind::CollaFilt.url());
+            last = r.arrival;
+            count += 1;
+        }
+        // 200 rps × 60 s = 12000 ± sampling noise.
+        assert!((11_000..13_000).contains(&count), "count={count}");
+    }
+
+    #[test]
+    fn bots_rotate_evenly() {
+        let mut f = FloodSource::against_service(
+            AttackTool::HttpLoad { rate: 100.0 },
+            ServiceKind::KMeans,
+            7000,
+            10,
+            0,
+            s(0),
+            s(30),
+            2,
+        );
+        let mut counts = std::collections::HashMap::new();
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let Some(r) = f.next_request(last) else { break };
+            *counts.entry(r.source.0).or_insert(0u32) += 1;
+            last = r.arrival;
+        }
+        assert_eq!(counts.len(), 10);
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(max - min <= 1, "unbalanced: {min}..{max}");
+        assert_eq!(f.per_bot_rate(), Some(10.0));
+    }
+
+    #[test]
+    fn stops_at_horizon() {
+        let mut f = FloodSource::against_service(
+            AttackTool::HttpLoad { rate: 1000.0 },
+            ServiceKind::WordCount,
+            0,
+            5,
+            0,
+            s(10),
+            s(20),
+            3,
+        );
+        // Before start: first arrival lands at/after start.
+        let r = f.next_request(s(0)).unwrap();
+        assert!(r.arrival >= s(10));
+        let mut last = r.arrival;
+        while let Some(r) = f.next_request(last) {
+            assert!(r.arrival < s(20));
+            last = r.arrival;
+        }
+        assert!(f.next_request(s(25)).is_none());
+    }
+
+    #[test]
+    fn apache_bench_respects_concurrency() {
+        let mut f = FloodSource::against_service(
+            AttackTool::ApacheBench { concurrency: 3 },
+            ServiceKind::CollaFilt,
+            0,
+            3,
+            0,
+            s(0),
+            s(100),
+            4,
+        );
+        assert!(f.next_request(s(0)).is_some());
+        assert!(f.next_request(s(0)).is_some());
+        assert!(f.next_request(s(0)).is_some());
+        // Window full: dormant.
+        assert!(f.next_request(s(1)).is_none());
+        // A completion frees a slot.
+        f.feedback(s(2), SourceEvent::Completed(SourceId(0)));
+        let r = f.next_request(s(2)).unwrap();
+        assert_eq!(r.arrival, s(2));
+        assert!(f.next_request(s(2)).is_none());
+    }
+
+    #[test]
+    fn apache_bench_blocked_frees_slot() {
+        let mut f = FloodSource::against_service(
+            AttackTool::ApacheBench { concurrency: 1 },
+            ServiceKind::KMeans,
+            0,
+            1,
+            0,
+            s(0),
+            s(100),
+            5,
+        );
+        assert!(f.next_request(s(0)).is_some());
+        assert!(f.next_request(s(0)).is_none());
+        f.feedback(s(1), SourceEvent::Blocked(SourceId(0)));
+        assert_eq!(f.blocked_seen(), 1);
+        assert!(f.next_request(s(1)).is_some());
+    }
+
+    #[test]
+    fn flood_kind_construction() {
+        let mut f = FloodSource::flood(
+            FloodKind::SynFlood,
+            10_000.0,
+            0,
+            100,
+            0,
+            s(0),
+            s(10),
+            6,
+        );
+        let r = f.next_request(s(0)).unwrap();
+        assert_eq!(r.url, crate::floods::KERNEL_PATH_URL);
+        assert!(r.work_gcycles < 1e-4);
+        assert!(f.is_attacker());
+        assert_eq!(f.label(), "SYN-Flood");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            FloodSource::against_service(
+                AttackTool::HttpLoad { rate: 50.0 },
+                ServiceKind::TextCont,
+                0,
+                4,
+                0,
+                s(0),
+                s(60),
+                9,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..50 {
+            assert_eq!(a.next_request(s(0)), b.next_request(s(0)));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # workloads — traffic and service models
+//!
+//! Everything that *generates* load in the reproduction:
+//!
+//! * [`service`] — the four BigDataBench-style EC service kernels of
+//!   Table 1 (Colla-Filt, K-means, Word-Count, Text-Cont) with calibrated
+//!   work, CPU-boundedness and power-character parameters, plus service
+//!   mixes.
+//! * [`normal`] — the `AliOS` normal-user model: a non-homogeneous
+//!   Poisson arrival process modulated by a cluster utilization trace.
+//! * [`alibaba`] — a synthetic generator with the statistical shape of
+//!   the Alibaba cluster-trace-v2017 (12 h, diurnal, heavy-tailed) and a
+//!   loader for the real CSV when available.
+//! * [`attacker`] — the http-load / ApacheBench attack tools: open-loop
+//!   rate-controlled floods spread over a configurable botnet.
+//! * [`dope`] — the Fig-12 DOPE attack algorithm: probe the defense
+//!   threshold, back off on detection, converge to the maximum
+//!   undetected power injection.
+//! * [`floods`] — the layered flood taxonomy of Fig 3 (SYN/UDP/ICMP vs
+//!   HTTP/DNS/Slowloris) with measured power-intensity orderings.
+//! * [`source`] — the [`TrafficSource`] abstraction all of the above
+//!   implement, consumed by the cluster simulator.
+//! * [`scenario`] — a composable [`ScenarioBuilder`] assembling standard
+//!   populations with automatic id-space / address-pool bookkeeping.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alibaba;
+pub mod attacker;
+pub mod dope;
+pub mod floods;
+pub mod normal;
+pub mod scenario;
+pub mod service;
+pub mod source;
+
+pub use alibaba::{AlibabaTraceConfig, UtilizationTrace};
+pub use attacker::{AttackTool, FloodSource};
+pub use dope::{DopeAttacker, DopeConfig, DopePhase};
+pub use floods::{FloodKind, FloodLayer};
+pub use normal::NormalUsers;
+pub use scenario::ScenarioBuilder;
+pub use service::{ServiceKind, ServiceMix, ServiceProfile};
+pub use source::{SourceEvent, TrafficSource};

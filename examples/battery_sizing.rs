@@ -1,0 +1,90 @@
+//! Battery sizing: how much UPS does peak shaving actually need when the
+//! "peak" is adversarial?
+//!
+//! Sweeps the battery sustain rating under the Shaving scheme against a
+//! sustained DOPE flood, and reports whether the battery survives the
+//! window and what the legitimate users experience. The punchline of
+//! Fig 18: batteries provisioned for *occasional* utility peaks are a
+//! consumable an attacker can drain at will.
+//!
+//! ```text
+//! cargo run --release --example battery_sizing
+//! ```
+
+use antidope_repro::prelude::*;
+use dcmetrics::export::Table;
+use rayon::prelude::*;
+
+fn main() {
+    let sustains_min = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let window_s = 600;
+    let attack_rate = 600.0;
+
+    println!(
+        "Shaving vs a sustained {attack_rate:.0} req/s Colla-Filt DOPE at Low-PB, {window_s} s window\n"
+    );
+    let reports: Vec<(f64, SimReport)> = sustains_min
+        .par_iter()
+        .map(|&mins| {
+            let factory = move |exp: &ExperimentConfig| {
+                let horizon = SimTime::ZERO + exp.duration;
+                let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+                let sources: Vec<Box<dyn TrafficSource>> = vec![
+                    Box::new(NormalUsers::new(
+                        trace,
+                        ServiceMix::alios_normal(),
+                        80.0,
+                        1_000,
+                        60,
+                        0,
+                        horizon,
+                        exp.seed,
+                    )),
+                    Box::new(FloodSource::against_service(
+                        AttackTool::HttpLoad { rate: attack_rate },
+                        ServiceKind::CollaFilt,
+                        50_000,
+                        40,
+                        1 << 40,
+                        SimTime::from_secs(5),
+                        horizon,
+                        exp.seed ^ 0x5EED,
+                    )),
+                ];
+                sources
+            };
+            let mut cluster = ClusterConfig::paper_rack(BudgetLevel::Low);
+            cluster.battery_sustain = SimDuration::from_secs_f64(mins * 60.0);
+            let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::Shaving, 5);
+            exp.duration = SimDuration::from_secs(window_s);
+            (mins, antidope::run_experiment(&exp, &factory))
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Battery sustain sweep (Shaving, Low-PB)",
+        &[
+            "sustain_min",
+            "capacity_kJ",
+            "min_soc",
+            "survived",
+            "p90_ms",
+            "violations",
+        ],
+    );
+    for (mins, r) in &reports {
+        t.push_row(vec![
+            format!("{mins:.1}"),
+            Table::fmt_f64(r.battery.capacity_j / 1e3),
+            Table::fmt_f64(r.battery.min_soc),
+            (r.battery.min_soc > 0.05).to_string(),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            r.power.violations.to_string(),
+        ]);
+    }
+    println!("{}", t.to_text());
+    println!(
+        "Against a *sustained* adversarial peak, no reasonable battery survives —\n\
+         the attacker outlasts stored energy; only request-aware control breaks the race."
+    );
+}

@@ -1,0 +1,88 @@
+//! E-commerce under attack: run the full Table-2 scheme comparison on
+//! the paper's EC workload at one oversubscription level, and print the
+//! operator-facing dashboard the paper's Section 6 summarizes.
+//!
+//! ```text
+//! cargo run --release --example ecommerce_attack [budget] [attack_rps]
+//!     budget      normal|high|medium|low   [default: medium]
+//!     attack_rps  aggregate flood rate     [default: 390]
+//! ```
+
+use antidope_repro::prelude::*;
+use dcmetrics::export::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = match args.first().map(|s| s.as_str()) {
+        Some("normal") => BudgetLevel::Normal,
+        Some("high") => BudgetLevel::High,
+        Some("low") => BudgetLevel::Low,
+        _ => BudgetLevel::Medium,
+    };
+    let attack_rate: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(390.0);
+
+    let factory = move |exp: &ExperimentConfig| {
+        let horizon = SimTime::ZERO + exp.duration;
+        let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+        let sources: Vec<Box<dyn TrafficSource>> = vec![
+            Box::new(NormalUsers::new(
+                trace,
+                ServiceMix::alios_normal(),
+                80.0,
+                1_000,
+                60,
+                0,
+                horizon,
+                exp.seed,
+            )),
+            Box::new(FloodSource::against_service(
+                AttackTool::HttpLoad { rate: attack_rate },
+                ServiceKind::CollaFilt,
+                50_000,
+                40,
+                1 << 40,
+                SimTime::from_secs(5),
+                horizon,
+                exp.seed ^ 0x5EED,
+            )),
+        ];
+        sources
+    };
+
+    println!(
+        "EC application at {budget}, Colla-Filt DOPE at {attack_rate:.0} req/s, 300 s window\n"
+    );
+    let mut table = Table::new(
+        "Scheme comparison (legitimate users)",
+        &[
+            "scheme",
+            "mean_ms",
+            "p90_ms",
+            "availability",
+            "drop_rate",
+            "peak_W",
+            "violations",
+            "battery_min_soc",
+        ],
+    );
+    for scheme in SchemeKind::EVALUATED {
+        let mut exp =
+            ExperimentConfig::paper_window(ClusterConfig::paper_rack(budget), scheme, 7);
+        exp.duration = SimDuration::from_secs(300);
+        let r = antidope::run_experiment(&exp, &factory);
+        table.push_row(vec![
+            r.scheme.clone(),
+            Table::fmt_f64(r.normal_latency.mean_ms),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            format!("{:.1}%", r.availability() * 100.0),
+            format!("{:.1}%", r.normal_sla.drop_rate() * 100.0),
+            Table::fmt_f64(r.power.peak_w),
+            r.power.violations.to_string(),
+            Table::fmt_f64(r.battery.min_soc),
+        ]);
+    }
+    println!("{}", table.to_text());
+}

@@ -1,0 +1,109 @@
+//! Firewall evasion: watch the Fig-12 DOPE algorithm probe a
+//! DDoS-deflate-style firewall, get caught, rotate its botnet, and
+//! converge just under the detection threshold — then see what that
+//! converged flow does to an oversubscribed cluster.
+//!
+//! ```text
+//! cargo run --release --example firewall_evasion [bots]
+//!     bots   botnet size  [default: 4 — small enough to get caught]
+//! ```
+
+use antidope_repro::prelude::*;
+use netsim::firewall::{Firewall, FirewallConfig, FirewallVerdict};
+use workloads::dope::DopePhase;
+use workloads::source::SourceEvent;
+
+fn main() {
+    let bots: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    println!("Phase 1: probing a deflate firewall (threshold 150 req/s per source)\n");
+    let horizon = SimTime::from_secs(300);
+    let mut attacker = DopeAttacker::new(
+        DopeConfig {
+            victim: ServiceKind::CollaFilt,
+            initial_rate: 100.0,
+            bots,
+            max_rate: 4000.0,
+            ..DopeConfig::default()
+        },
+        50_000,
+        1 << 40,
+        SimTime::ZERO,
+        horizon,
+        0xD09E,
+    );
+    let mut firewall = Firewall::new(SimTime::ZERO, FirewallConfig::default());
+    let mut now = SimTime::ZERO;
+    while let Some(req) = attacker.next_request(now) {
+        now = req.arrival;
+        if firewall.inspect(now, req.source) == FirewallVerdict::Blocked {
+            attacker.feedback(now, SourceEvent::Blocked(req.source));
+        }
+    }
+    println!("  t(s)   aggregate req/s   per-bot req/s   detected?");
+    for h in attacker.history() {
+        println!(
+            "  {:>5.0}   {:>15.1}   {:>13.1}   {}",
+            h.at.as_secs_f64(),
+            h.rate,
+            h.rate / bots as f64,
+            if h.detected { "BLOCKED → back off" } else { "" }
+        );
+    }
+    println!(
+        "\n  converged: {} at {:.1} req/s aggregate ({:.1} per bot, threshold 150)\n",
+        matches!(attacker.phase(), DopePhase::Converged),
+        attacker.rate(),
+        attacker.per_bot_rate()
+    );
+
+    println!("Phase 2: the converged flow against a Medium-PB rack (unmanaged)\n");
+    let converged_rate = attacker.rate();
+    let factory = move |exp: &ExperimentConfig| {
+        let horizon = SimTime::ZERO + exp.duration;
+        let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+        let sources: Vec<Box<dyn TrafficSource>> = vec![
+            Box::new(NormalUsers::new(
+                trace,
+                ServiceMix::alios_normal(),
+                80.0,
+                1_000,
+                60,
+                0,
+                horizon,
+                exp.seed,
+            )),
+            // A fresh botnet large enough that the converged aggregate
+            // stays stealthy per source.
+            Box::new(FloodSource::against_service(
+                AttackTool::HttpLoad {
+                    rate: converged_rate,
+                },
+                ServiceKind::CollaFilt,
+                60_000,
+                40,
+                1 << 41,
+                SimTime::from_secs(5),
+                horizon,
+                77,
+            )),
+        ];
+        sources
+    };
+    let mut exp = ExperimentConfig::paper_window(
+        ClusterConfig::paper_rack(BudgetLevel::Medium),
+        SchemeKind::None,
+        3,
+    );
+    exp.duration = SimDuration::from_secs(120);
+    let r = antidope::run_experiment(&exp, &factory);
+    println!("  {}", r.oneline());
+    println!(
+        "  firewall blocked {} requests; power exceeded the {:.0} W budget in {} slots",
+        r.traffic.firewall_blocked, r.power.supply_w, r.power.violations
+    );
+    println!("\nThat is the DOPE region of Fig 11: invisible to the perimeter, lethal to the budget.");
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the Anti-DOPE reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use antidope_repro::...`. See the individual
+//! crates for documentation:
+//!
+//! * [`simcore`] — deterministic discrete-event engine
+//! * [`dcmetrics`] — histograms, CDFs, energy/SLA accounting
+//! * [`powercap`] — P-states, DVFS, RAPL, batteries, budgets
+//! * [`netsim`] — requests, queues, token buckets, firewall, NLB
+//! * [`workloads`] — EC service kernels, traces, attackers, DOPE
+//! * [`antidope`] — PDF + RPM/DPM, baselines, cluster simulator
+
+pub use antidope;
+pub use dcmetrics;
+pub use netsim;
+pub use powercap;
+pub use simcore;
+pub use workloads;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use antidope::{
+        run_experiment, run_matrix, ClusterConfig, ClusterSim, ExperimentConfig, SchemeKind,
+        SimReport,
+    };
+    pub use powercap::BudgetLevel;
+    pub use simcore::{SimDuration, SimTime};
+    pub use workloads::{
+        alibaba::{AlibabaTraceConfig, UtilizationTrace},
+        attacker::{AttackTool, FloodSource},
+        dope::{DopeAttacker, DopeConfig},
+        normal::NormalUsers,
+        service::{ServiceKind, ServiceMix},
+        source::TrafficSource,
+    };
+}

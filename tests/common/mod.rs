@@ -1,0 +1,54 @@
+//! Shared scenario builders for the integration tests.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use antidope_repro::prelude::*;
+
+/// Standard peak arrival rate for the normal population (requests/s at
+/// trace utilization 1.0).
+pub const NORMAL_PEAK_RATE: f64 = 80.0;
+
+/// Build the standard test scenario: AliOS normal users plus a
+/// Colla-Filt http-load flood at `attack_rate` starting at t = 5 s,
+/// spread over 40 bots (stealthy per-source rates).
+pub fn scenario(attack_rate: f64) -> impl Fn(&ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+    move |exp: &ExperimentConfig| {
+        let horizon = SimTime::ZERO + exp.duration;
+        let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+        let mut sources: Vec<Box<dyn TrafficSource>> = vec![Box::new(NormalUsers::new(
+            trace,
+            ServiceMix::alios_normal(),
+            NORMAL_PEAK_RATE,
+            1_000,
+            60,
+            0,
+            horizon,
+            exp.seed,
+        ))];
+        if attack_rate > 0.0 {
+            sources.push(Box::new(FloodSource::against_service(
+                AttackTool::HttpLoad { rate: attack_rate },
+                ServiceKind::CollaFilt,
+                50_000,
+                40,
+                1 << 40,
+                SimTime::from_secs(5),
+                horizon,
+                exp.seed ^ 0x5EED,
+            )));
+        }
+        sources
+    }
+}
+
+/// Run one (scheme, budget) cell of the standard scenario.
+pub fn run_cell(
+    scheme: SchemeKind,
+    budget: BudgetLevel,
+    attack_rate: f64,
+    duration_s: u64,
+    seed: u64,
+) -> SimReport {
+    let mut exp = ExperimentConfig::paper_window(ClusterConfig::paper_rack(budget), scheme, seed);
+    exp.duration = SimDuration::from_secs(duration_s);
+    run_experiment(&exp, &scenario(attack_rate))
+}

@@ -1,0 +1,39 @@
+//! Bit-level reproducibility of full experiments — the property every
+//! number in EXPERIMENTS.md rests on.
+
+mod common;
+
+use antidope_repro::prelude::*;
+use common::run_cell;
+
+#[test]
+fn same_seed_same_report_every_scheme() {
+    for scheme in SchemeKind::EVALUATED {
+        let a = run_cell(scheme, BudgetLevel::Medium, 400.0, 45, 99);
+        let b = run_cell(scheme, BudgetLevel::Medium, 400.0, 45, 99);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "{scheme} not deterministic"
+        );
+    }
+}
+
+#[test]
+fn different_seed_different_traffic() {
+    let a = run_cell(SchemeKind::Capping, BudgetLevel::Medium, 400.0, 45, 1);
+    let b = run_cell(SchemeKind::Capping, BudgetLevel::Medium, 400.0, 45, 2);
+    assert_ne!(a.traffic.offered, b.traffic.offered);
+}
+
+#[test]
+fn duration_composes() {
+    // A 30 s run is a strict prefix of a 60 s run in offered traffic:
+    // both see the same arrivals up to t = 30 s, so offered(60) >
+    // offered(30) and the 30 s report's counts are all ≤ the 60 s ones.
+    let short = run_cell(SchemeKind::Capping, BudgetLevel::Medium, 300.0, 30, 5);
+    let long = run_cell(SchemeKind::Capping, BudgetLevel::Medium, 300.0, 60, 5);
+    assert!(long.traffic.offered > short.traffic.offered);
+    assert!(long.normal_sla.total() >= short.normal_sla.total());
+    assert!(long.energy.utility_j > short.energy.utility_j);
+}

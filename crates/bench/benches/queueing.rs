@@ -1,8 +1,9 @@
 //! Benchmarks of the network substrate hot paths: processor-sharing
 //! queue churn, token buckets, and firewall inspection.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use netsim::firewall::{Firewall, FirewallConfig};
+use netsim::queueing::reference::ReferencePsServer;
 use netsim::queueing::PsServer;
 use netsim::request::{RequestBuilder, SourceId, UrlId};
 use netsim::token_bucket::{PowerTokenBucket, TokenBucket};
@@ -44,6 +45,80 @@ fn bench_ps_queue(c: &mut Criterion) {
             black_box(done)
         })
     });
+    g.finish();
+}
+
+/// Steady-state churn ops per measurement iteration.
+const FLOOD_CHURN: u64 = 1_000;
+
+/// Flood-occupancy churn against the virtual-time queue: prefill
+/// `occupancy` heavy resident requests, then measure
+/// push → predict → complete cycles of light requests through the
+/// standing flood.
+fn flood_churn_vt(cores: usize, occupancy: usize) -> u64 {
+    let mut srv = PsServer::new(SimTime::ZERO, cores, 2.4, occupancy + 2);
+    let mut b = RequestBuilder::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..occupancy {
+        srv.push(now, b.build(UrlId(0), SourceId(0), now, 1e9, 0.8, 0.8, 0.8, true));
+    }
+    let mut done = 0u64;
+    for _ in 0..FLOOD_CHURN {
+        let req = b.build(UrlId(1), SourceId(1), now, 1e-7, 0.8, 0.8, 0.8, false);
+        srv.push(now, req);
+        let (eta, id) = srv.next_completion().expect("queue is non-empty");
+        if srv.try_complete(eta, id).is_some() {
+            done += 1;
+        }
+        now = eta.max(now);
+    }
+    done
+}
+
+/// Same churn against the O(n)-per-event reference implementation.
+fn flood_churn_reference(cores: usize, occupancy: usize) -> u64 {
+    let mut srv = ReferencePsServer::new(SimTime::ZERO, cores, 2.4, occupancy + 2);
+    let mut b = RequestBuilder::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..occupancy {
+        srv.push(now, b.build(UrlId(0), SourceId(0), now, 1e9, 0.8, 0.8, 0.8, true));
+    }
+    let mut done = 0u64;
+    for _ in 0..FLOOD_CHURN {
+        let req = b.build(UrlId(1), SourceId(1), now, 1e-7, 0.8, 0.8, 0.8, false);
+        srv.push(now, req);
+        let (eta, id) = srv.next_completion().expect("queue is non-empty");
+        if srv.try_complete(eta, id).is_some() {
+            done += 1;
+        }
+        now = eta.max(now);
+    }
+    done
+}
+
+/// The asymptotic separation the virtual-time rewrite buys: results feed
+/// `BENCH_queueing.json` at the repo root.
+fn bench_queueing_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queueing_flood");
+    g.throughput(Throughput::Elements(FLOOD_CHURN));
+    g.sample_size(10);
+    for &cores in &[1usize, 16] {
+        for &occupancy in &[100usize, 10_000] {
+            let label = format!("c{cores}_n{occupancy}");
+            g.bench_with_input(
+                BenchmarkId::new("virtual_time", &label),
+                &(cores, occupancy),
+                |b, &(cores, occupancy)| b.iter(|| black_box(flood_churn_vt(cores, occupancy))),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("reference", &label),
+                &(cores, occupancy),
+                |b, &(cores, occupancy)| {
+                    b.iter(|| black_box(flood_churn_reference(cores, occupancy)))
+                },
+            );
+        }
+    }
     g.finish();
 }
 
@@ -97,5 +172,11 @@ fn bench_firewall(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ps_queue, bench_token_buckets, bench_firewall);
+criterion_group!(
+    benches,
+    bench_ps_queue,
+    bench_queueing_flood,
+    bench_token_buckets,
+    bench_firewall
+);
 criterion_main!(benches);

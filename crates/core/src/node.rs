@@ -156,9 +156,21 @@ impl ComputeNode {
         }
     }
 
-    /// Drain the queue (power loss).
+    /// Drain the queue (power loss), delivering each lost request to
+    /// `visit`. Allocation-free (see [`PsServer::drain_with`]).
+    pub fn drain_with(&mut self, now: SimTime, visit: impl FnMut(Request)) {
+        self.queue.drain_with(now, visit)
+    }
+
+    /// Drain the queue (power loss) into a fresh `Vec`.
     pub fn drain(&mut self, now: SimTime) -> Vec<Request> {
         self.queue.drain(now)
+    }
+
+    /// Visit every overdue in-flight request without allocating (see
+    /// [`PsServer::for_each_overdue`]).
+    pub fn for_each_overdue(&self, now: SimTime, visit: impl FnMut(RequestId, SimDuration)) {
+        self.queue.for_each_overdue(now, visit)
     }
 }
 

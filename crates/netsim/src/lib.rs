@@ -7,7 +7,9 @@
 //!   labeling (used for metrics only, never by defenses).
 //! * [`PsServer`] — a multi-core processor-sharing queue whose speed
 //!   follows the node's DVFS state, with a bounded accept queue. This is
-//!   where throttling turns into queueing delay and tail latency.
+//!   where throttling turns into queueing delay and tail latency. It is
+//!   implemented in virtual time (O(1) advance, O(log n) completion), so
+//!   flood-scale occupancy costs nothing per event; see [`queueing`].
 //! * [`TokenBucket`] / [`PowerTokenBucket`] — classic rate limiting and
 //!   the paper's `Token` baseline (a token bucket denominated in watts).
 //! * [`Firewall`] — a DDoS-deflate-style per-source rate-threshold

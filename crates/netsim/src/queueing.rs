@@ -1,4 +1,5 @@
-//! Multi-core processor-sharing server queue with DVFS-dependent speed.
+//! Multi-core processor-sharing server queue with DVFS-dependent speed,
+//! in the **virtual-time** formulation.
 //!
 //! Each server is modeled as `c` cores shared equally among all in-flight
 //! requests (the classic egalitarian processor-sharing model of a
@@ -12,17 +13,76 @@
 //! proportionally while memory-bound ones barely notice — the mechanism
 //! behind every latency figure in the paper.
 //!
+//! ## Virtual time
+//!
+//! Sustained floods push thousands of requests in flight per node, so the
+//! queue cannot afford per-request work on every event. Instead of
+//! tracking each request's remaining work explicitly (O(n) per advance),
+//! the queue maintains one *shared-cycle accumulator*
+//!
+//! ```text
+//! S(t) = ∫ core_ghz · share(t) dt        share(t) = min(1, c / n(t))
+//! ```
+//!
+//! — the G-cycles a hypothetical β-insensitive request would have
+//! received so far. Request *i* consumes real work at the constant slope
+//! `rᵢ = rate_factor(βᵢ, rel_f)` per unit of `S`, so its finish point
+//!
+//! ```text
+//! S_finish,i = S_admit + work_i / rᵢ
+//! ```
+//!
+//! is **fixed at admission** and is independent of later occupancy
+//! changes: pushes and completions bend the *clock* `S(t)` (the share
+//! changes) but never the finish *ordinates*, so the completion order is
+//! invariant and lives in a min-heap keyed by `S_finish`. Consequences:
+//!
+//! * [`PsServer::advance`] is O(1) — bump `S`;
+//! * [`PsServer::next_completion`] is a heap peek (amortizing out lazily
+//!   deleted entries of completed requests);
+//! * [`PsServer::try_complete`] is an O(1) id lookup plus an O(log n)
+//!   lazy heap deletion;
+//! * only [`PsServer::set_rel_freq`] changes the per-request slopes, and
+//!   it rescales every finish point and rebuilds the heap in O(n) — DVFS
+//!   transitions are control-slot-rate events, not per-request ones.
+//!
+//! The previous direct-integration implementation is preserved verbatim
+//! as [`reference::ReferencePsServer`] and the two are proven equivalent
+//! (µs-identical completion schedules) by differential property tests
+//! below and benchmarked against each other in `dope-bench`.
+//!
 //! ## Event protocol
 //!
-//! The queue advances lazily: every mutating call first integrates all
-//! in-flight work over the elapsed time. Completion times depend on
-//! occupancy, so any state change invalidates previously-predicted ETAs;
-//! the queue exposes an [`PsServer::epoch`] counter that bumps on every
-//! state change. The owning simulation schedules one completion event per
-//! server carrying the epoch, and discards stale events on delivery.
+//! The queue advances lazily: every mutating call first integrates the
+//! shared-cycle accumulator over the elapsed time. Completion times
+//! depend on occupancy, so any state change invalidates
+//! previously-predicted ETAs; the queue exposes an [`PsServer::epoch`]
+//! counter that bumps on every state change. The owning simulation
+//! schedules one completion event per server carrying the epoch, and
+//! discards stale events on delivery.
 
 use crate::request::{Request, RequestId};
+use simcore::fxhash::FxHashMap;
 use simcore::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Round an ETA in seconds up to the next microsecond tick, snapping to
+/// the nearest tick first: the virtual-time accumulator carries ~1 ulp of
+/// float noise, which must not push an exactly-on-tick ETA onto the
+/// following tick (the reference integrator would say the earlier one).
+/// The 1 ns snap window is ~6 orders above ulp noise and ~3 below the
+/// queue's 2 µs completion tolerance.
+#[inline]
+pub(crate) fn eta_to_micros(eta_s: f64) -> u64 {
+    let eta_us = eta_s * 1e6;
+    let nearest = eta_us.round();
+    if (eta_us - nearest).abs() < 1e-3 {
+        nearest as u64
+    } else {
+        eta_us.ceil() as u64
+    }
+}
 
 /// Result of offering a request to the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,17 +96,59 @@ pub enum PushOutcome {
 #[derive(Debug, Clone)]
 struct InFlight {
     req: Request,
-    remaining_gcycles: f64,
+    /// Value of the shared-cycle accumulator at which this request's
+    /// work is exhausted. Fixed between frequency changes.
+    finish_cycles: f64,
+    /// Admission sequence number — deterministic tie-break for equal
+    /// finish points.
+    seq: u64,
 }
 
-/// A processor-sharing multi-core server queue.
+/// Completion-heap key: finish point first, admission order second so
+/// exactly-tied finish points resolve deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FinishKey {
+    finish_cycles: f64,
+    seq: u64,
+    id: RequestId,
+}
+
+impl Eq for FinishKey {}
+
+impl PartialOrd for FinishKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FinishKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish_cycles
+            .total_cmp(&other.finish_cycles)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A processor-sharing multi-core server queue (virtual-time form).
 #[derive(Debug, Clone)]
 pub struct PsServer {
     cores: usize,
     core_ghz: f64,
     rel_freq: f64,
     max_inflight: usize,
+    /// Resident requests. Insertion + `swap_remove` discipline — the
+    /// iteration order (and therefore every order-sensitive float
+    /// aggregate like [`PsServer::load_character`]) matches the
+    /// reference implementation exactly.
     inflight: Vec<InFlight>,
+    /// Request id → position in `inflight`.
+    index: FxHashMap<RequestId, usize>,
+    /// Min-heap of finish points. Entries for departed requests are
+    /// deleted lazily when they surface at the top.
+    completions: BinaryHeap<Reverse<FinishKey>>,
+    /// The shared-cycle accumulator `S(t)`.
+    shared_cycles: f64,
+    next_seq: u64,
     last_advance: SimTime,
     epoch: u64,
     completed: u64,
@@ -64,6 +166,10 @@ impl PsServer {
             rel_freq: 1.0,
             max_inflight,
             inflight: Vec::new(),
+            index: FxHashMap::default(),
+            completions: BinaryHeap::new(),
+            shared_cycles: 0.0,
+            next_seq: 0,
             last_advance: start,
             epoch: 0,
             completed: 0,
@@ -145,47 +251,71 @@ impl PsServer {
         }
     }
 
-    /// Service rate of one in-flight entry, G-cycles/s.
+    /// Remaining work of one in-flight entry, G-cycles. Clamped at zero:
+    /// a request may sit (within µs rounding) past its finish point
+    /// while its completion event is in flight.
     #[inline]
-    fn rate_of(&self, f: &InFlight) -> f64 {
-        self.core_ghz * f.req.rate_factor(self.rel_freq) * self.share()
+    fn remaining_of(&self, f: &InFlight) -> f64 {
+        ((f.finish_cycles - self.shared_cycles) * f.req.rate_factor(self.rel_freq)).max(0.0)
     }
 
-    /// Integrate all in-flight work up to `now`.
+    /// Integrate the shared-cycle accumulator up to `now`. O(1).
     pub fn advance(&mut self, now: SimTime) {
         let dt = now.since(self.last_advance).as_secs_f64();
         self.last_advance = now;
         if dt == 0.0 || self.inflight.is_empty() {
             return;
         }
-        let share = self.share();
-        let base = self.core_ghz * dt * share;
-        for f in &mut self.inflight {
-            let done = base * f.req.rate_factor(self.rel_freq);
-            f.remaining_gcycles = (f.remaining_gcycles - done).max(0.0);
-        }
+        self.shared_cycles += self.core_ghz * dt * self.share();
     }
 
-    /// Change the DVFS relative frequency at `now`.
+    /// Change the DVFS relative frequency at `now`. Frequency is the one
+    /// event that alters per-request slopes, so every finish point is
+    /// rescaled and the completion heap rebuilt — O(n), at control-slot
+    /// rate rather than per-request rate.
     pub fn set_rel_freq(&mut self, now: SimTime, rel_f: f64) {
         assert!(rel_f > 0.0 && rel_f <= 1.0 + 1e-9, "rel_f={rel_f}");
         self.advance(now);
-        if (rel_f - self.rel_freq).abs() > 1e-12 {
-            self.rel_freq = rel_f;
-            self.epoch += 1;
+        if (rel_f - self.rel_freq).abs() <= 1e-12 {
+            return;
+        }
+        let old = self.rel_freq;
+        self.rel_freq = rel_f;
+        self.epoch += 1;
+        self.completions.clear();
+        for f in &mut self.inflight {
+            let remaining =
+                ((f.finish_cycles - self.shared_cycles) * f.req.rate_factor(old)).max(0.0);
+            f.finish_cycles = self.shared_cycles + remaining / f.req.rate_factor(rel_f);
+            self.completions.push(Reverse(FinishKey {
+                finish_cycles: f.finish_cycles,
+                seq: f.seq,
+                id: f.req.id,
+            }));
         }
     }
 
-    /// Offer a request at `now`.
+    /// Offer a request at `now`. O(log n): the finish point is fixed here
+    /// and never reordered by later occupancy changes.
     pub fn push(&mut self, now: SimTime, req: Request) -> PushOutcome {
         self.advance(now);
         if self.inflight.len() >= self.max_inflight {
             self.rejected += 1;
             return PushOutcome::Rejected;
         }
+        let finish_cycles = self.shared_cycles + req.work_gcycles / req.rate_factor(self.rel_freq);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.completions.push(Reverse(FinishKey {
+            finish_cycles,
+            seq,
+            id: req.id,
+        }));
+        self.index.insert(req.id, self.inflight.len());
         self.inflight.push(InFlight {
-            remaining_gcycles: req.work_gcycles,
             req,
+            finish_cycles,
+            seq,
         });
         self.epoch += 1;
         PushOutcome::Accepted
@@ -194,36 +324,47 @@ impl PsServer {
     /// Predict the next completion as `(eta, request_id)` given current
     /// state. Call [`PsServer::advance`] first. The ETA is rounded up to
     /// the next microsecond so the completion event never fires early.
-    pub fn next_completion(&self) -> Option<(SimTime, RequestId)> {
-        let mut best: Option<(f64, RequestId)> = None;
-        for f in &self.inflight {
-            let rate = self.rate_of(f);
-            debug_assert!(rate > 0.0);
-            let eta = f.remaining_gcycles / rate;
-            if best.is_none_or(|(b, _)| eta < b) {
-                best = Some((eta, f.req.id));
+    ///
+    /// Takes `&mut self` to lazily discard heap entries of requests that
+    /// already departed; amortized O(log n).
+    pub fn next_completion(&mut self) -> Option<(SimTime, RequestId)> {
+        let head = loop {
+            let Reverse(key) = *self.completions.peek()?;
+            if self.index.contains_key(&key.id) {
+                break key;
             }
-        }
-        best.map(|(eta_s, id)| {
-            let micros = (eta_s * 1e6).ceil() as u64;
-            (self.last_advance + SimDuration::from_micros(micros), id)
-        })
+            self.completions.pop();
+        };
+        let idx = self.index[&head.id];
+        let f = &self.inflight[idx];
+        let rate = self.core_ghz * f.req.rate_factor(self.rel_freq) * self.share();
+        debug_assert!(rate > 0.0);
+        let eta_s = self.remaining_of(f) / rate;
+        let micros = eta_to_micros(eta_s);
+        Some((self.last_advance + SimDuration::from_micros(micros), head.id))
     }
 
     /// Attempt to complete request `id` at `now`. Returns the request and
     /// its sojourn time if its work is (within integration tolerance)
-    /// done; `None` if the ETA was stale and work remains.
+    /// done; `None` if the ETA was stale and work remains. O(1) lookup;
+    /// the heap entry is removed lazily by a later
+    /// [`PsServer::next_completion`].
     pub fn try_complete(&mut self, now: SimTime, id: RequestId) -> Option<(Request, SimDuration)> {
         self.advance(now);
-        let idx = self.inflight.iter().position(|f| f.req.id == id)?;
+        let &idx = self.index.get(&id)?;
+        let f = &self.inflight[idx];
         // Forgive up to 2 µs of residual work: completion events are
         // scheduled at µs granularity rounded up, so residuals below one
         // tick of extra service are integration noise, not stale ETAs.
-        let tol = self.rate_of(&self.inflight[idx]) * 2e-6;
-        if self.inflight[idx].remaining_gcycles > tol {
+        let tol = self.core_ghz * f.req.rate_factor(self.rel_freq) * self.share() * 2e-6;
+        if self.remaining_of(f) > tol {
             return None;
         }
         let f = self.inflight.swap_remove(idx);
+        self.index.remove(&id);
+        if idx < self.inflight.len() {
+            self.index.insert(self.inflight[idx].req.id, idx);
+        }
         self.epoch += 1;
         self.completed += 1;
         let sojourn = now.since(f.req.arrival);
@@ -231,29 +372,254 @@ impl PsServer {
     }
 
     /// Drain every in-flight request (used when a breaker trips and the
-    /// node loses power). Returns the abandoned requests.
-    pub fn drain(&mut self, now: SimTime) -> Vec<Request> {
+    /// node loses power), delivering each to `visit` in queue order.
+    /// Allocation-free alternative to [`PsServer::drain`].
+    pub fn drain_with(&mut self, now: SimTime, mut visit: impl FnMut(Request)) {
         self.advance(now);
         self.epoch += 1;
-        self.inflight.drain(..).map(|f| f.req).collect()
+        self.completions.clear();
+        self.index.clear();
+        for f in self.inflight.drain(..) {
+            visit(f.req);
+        }
     }
 
-    /// Ids and sojourns of in-flight requests older than their client
-    /// timeout (diagnostic; the simulation lets the server finish them —
-    /// the work still burns power — but clients have abandoned).
+    /// Drain every in-flight request into a fresh `Vec`. Convenience
+    /// wrapper over [`PsServer::drain_with`] for tests and cold paths.
+    pub fn drain(&mut self, now: SimTime) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.inflight.len());
+        self.drain_with(now, |req| out.push(req));
+        out
+    }
+
+    /// Visit the id and sojourn of every in-flight request older than its
+    /// client timeout (diagnostic; the simulation lets the server finish
+    /// them — the work still burns power — but clients have abandoned).
+    /// Allocation-free alternative to [`PsServer::overdue`].
+    pub fn for_each_overdue(&self, now: SimTime, mut visit: impl FnMut(RequestId, SimDuration)) {
+        for f in &self.inflight {
+            if let Some(sojourn) = now.checked_since(f.req.arrival) {
+                if f.req.abandoned(sojourn) {
+                    visit(f.req.id, sojourn);
+                }
+            }
+        }
+    }
+
+    /// Ids and sojourns of overdue in-flight requests, collected into a
+    /// fresh `Vec`. Convenience wrapper over
+    /// [`PsServer::for_each_overdue`] for tests and cold paths.
     pub fn overdue(&self, now: SimTime) -> Vec<(RequestId, SimDuration)> {
-        self.inflight
-            .iter()
-            .filter_map(|f| {
-                let sojourn = now.checked_since(f.req.arrival)?;
-                f.req.abandoned(sojourn).then_some((f.req.id, sojourn))
+        let mut out = Vec::new();
+        self.for_each_overdue(now, |id, sojourn| out.push((id, sojourn)));
+        out
+    }
+}
+
+/// The direct-integration processor-sharing queue the virtual-time
+/// implementation replaced.
+///
+/// Kept as an executable specification: [`ReferencePsServer`] integrates
+/// every in-flight request's remaining work on every event (O(n) per
+/// advance, O(n) scans for prediction and completion), which is
+/// unaffordable at flood-scale occupancy but trivially auditable against
+/// the model in the paper. The differential property tests in this module
+/// prove the two produce µs-identical completion schedules; the
+/// `queueing_flood` benchmark in `dope-bench` measures the asymptotic
+/// separation. Not part of the public simulator surface.
+#[doc(hidden)]
+pub mod reference {
+    use super::PushOutcome;
+    use crate::request::{Request, RequestId};
+    use simcore::{SimDuration, SimTime};
+
+    #[derive(Debug, Clone)]
+    struct InFlight {
+        req: Request,
+        remaining_gcycles: f64,
+    }
+
+    /// Direct-integration processor-sharing queue (the pre-virtual-time
+    /// implementation, verbatim).
+    #[derive(Debug, Clone)]
+    pub struct ReferencePsServer {
+        cores: usize,
+        core_ghz: f64,
+        rel_freq: f64,
+        max_inflight: usize,
+        inflight: Vec<InFlight>,
+        last_advance: SimTime,
+        epoch: u64,
+        completed: u64,
+        rejected: u64,
+    }
+
+    impl ReferencePsServer {
+        /// A server with `cores` cores at `core_ghz` nominal, admitting
+        /// at most `max_inflight` concurrent requests.
+        pub fn new(start: SimTime, cores: usize, core_ghz: f64, max_inflight: usize) -> Self {
+            assert!(cores >= 1 && core_ghz > 0.0 && max_inflight >= 1);
+            ReferencePsServer {
+                cores,
+                core_ghz,
+                rel_freq: 1.0,
+                max_inflight,
+                inflight: Vec::new(),
+                last_advance: start,
+                epoch: 0,
+                completed: 0,
+                rejected: 0,
+            }
+        }
+
+        /// Requests currently in flight.
+        pub fn len(&self) -> usize {
+            self.inflight.len()
+        }
+
+        /// True when idle.
+        pub fn is_empty(&self) -> bool {
+            self.inflight.is_empty()
+        }
+
+        /// State-change epoch.
+        pub fn epoch(&self) -> u64 {
+            self.epoch
+        }
+
+        /// Lifetime completions.
+        pub fn completed(&self) -> u64 {
+            self.completed
+        }
+
+        /// Lifetime rejections.
+        pub fn rejected(&self) -> u64 {
+            self.rejected
+        }
+
+        /// Power character of the resident mix.
+        pub fn load_character(&self) -> (f64, f64, f64) {
+            if self.inflight.is_empty() {
+                return (0.0, 0.0, 0.0);
+            }
+            let n = self.inflight.len() as f64;
+            let intensity = self.inflight.iter().map(|f| f.req.intensity).sum::<f64>() / n;
+            let gamma = self.inflight.iter().map(|f| f.req.gamma).sum::<f64>() / n;
+            let u = (self.inflight.len().min(self.cores)) as f64 / self.cores as f64;
+            (u, intensity, gamma)
+        }
+
+        /// Mean CPU-boundedness of the resident mix.
+        pub fn mean_beta(&self) -> f64 {
+            if self.inflight.is_empty() {
+                return 0.0;
+            }
+            self.inflight.iter().map(|f| f.req.beta).sum::<f64>() / self.inflight.len() as f64
+        }
+
+        #[inline]
+        fn share(&self) -> f64 {
+            if self.inflight.is_empty() {
+                0.0
+            } else {
+                (self.cores as f64 / self.inflight.len() as f64).min(1.0)
+            }
+        }
+
+        #[inline]
+        fn rate_of(&self, f: &InFlight) -> f64 {
+            self.core_ghz * f.req.rate_factor(self.rel_freq) * self.share()
+        }
+
+        /// Integrate all in-flight work up to `now`. O(n).
+        pub fn advance(&mut self, now: SimTime) {
+            let dt = now.since(self.last_advance).as_secs_f64();
+            self.last_advance = now;
+            if dt == 0.0 || self.inflight.is_empty() {
+                return;
+            }
+            let share = self.share();
+            let base = self.core_ghz * dt * share;
+            for f in &mut self.inflight {
+                let done = base * f.req.rate_factor(self.rel_freq);
+                f.remaining_gcycles = (f.remaining_gcycles - done).max(0.0);
+            }
+        }
+
+        /// Change the DVFS relative frequency at `now`.
+        pub fn set_rel_freq(&mut self, now: SimTime, rel_f: f64) {
+            assert!(rel_f > 0.0 && rel_f <= 1.0 + 1e-9, "rel_f={rel_f}");
+            self.advance(now);
+            if (rel_f - self.rel_freq).abs() > 1e-12 {
+                self.rel_freq = rel_f;
+                self.epoch += 1;
+            }
+        }
+
+        /// Offer a request at `now`.
+        pub fn push(&mut self, now: SimTime, req: Request) -> PushOutcome {
+            self.advance(now);
+            if self.inflight.len() >= self.max_inflight {
+                self.rejected += 1;
+                return PushOutcome::Rejected;
+            }
+            self.inflight.push(InFlight {
+                remaining_gcycles: req.work_gcycles,
+                req,
+            });
+            self.epoch += 1;
+            PushOutcome::Accepted
+        }
+
+        /// Predict the next completion by scanning every in-flight
+        /// request. O(n).
+        pub fn next_completion(&self) -> Option<(SimTime, RequestId)> {
+            let mut best: Option<(f64, RequestId)> = None;
+            for f in &self.inflight {
+                let rate = self.rate_of(f);
+                debug_assert!(rate > 0.0);
+                let eta = f.remaining_gcycles / rate;
+                if best.is_none_or(|(b, _)| eta < b) {
+                    best = Some((eta, f.req.id));
+                }
+            }
+            best.map(|(eta_s, id)| {
+                let micros = super::eta_to_micros(eta_s);
+                (self.last_advance + SimDuration::from_micros(micros), id)
             })
-            .collect()
+        }
+
+        /// Attempt to complete request `id` at `now`. O(n) position scan.
+        pub fn try_complete(
+            &mut self,
+            now: SimTime,
+            id: RequestId,
+        ) -> Option<(Request, SimDuration)> {
+            self.advance(now);
+            let idx = self.inflight.iter().position(|f| f.req.id == id)?;
+            let tol = self.rate_of(&self.inflight[idx]) * 2e-6;
+            if self.inflight[idx].remaining_gcycles > tol {
+                return None;
+            }
+            let f = self.inflight.swap_remove(idx);
+            self.epoch += 1;
+            self.completed += 1;
+            let sojourn = now.since(f.req.arrival);
+            Some((f.req, sojourn))
+        }
+
+        /// Drain every in-flight request.
+        pub fn drain(&mut self, now: SimTime) -> Vec<Request> {
+            self.advance(now);
+            self.epoch += 1;
+            self.inflight.drain(..).map(|f| f.req).collect()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferencePsServer;
     use super::*;
     use crate::request::{RequestBuilder, SourceId, UrlId};
     use proptest::prelude::*;
@@ -380,7 +746,6 @@ mod tests {
         assert_eq!(next_id, id);
         assert_eq!(eta2, SimTime::from_millis(1500));
         assert!(srv.try_complete(eta2, id).is_some());
-        let _ = id;
     }
 
     #[test]
@@ -427,6 +792,27 @@ mod tests {
         let drained = srv.drain(s(0));
         assert_eq!(drained.len(), 5);
         assert!(srv.is_empty());
+        // The heap and index must be clean: a fresh push still works.
+        srv.push(s(0), mk(&mut b, s(0), 2.4, 1.0));
+        let (eta, id) = srv.next_completion().unwrap();
+        assert_eq!(eta, s(1));
+        assert!(srv.try_complete(eta, id).is_some());
+    }
+
+    #[test]
+    fn drain_with_visits_in_queue_order() {
+        let mut srv = server();
+        let mut b = RequestBuilder::new();
+        let mut pushed = Vec::new();
+        for _ in 0..5 {
+            let r = mk(&mut b, SimTime::ZERO, 2.4, 1.0);
+            pushed.push(r.id);
+            srv.push(SimTime::ZERO, r);
+        }
+        let mut seen = Vec::new();
+        srv.drain_with(s(0), |req| seen.push(req.id));
+        assert_eq!(seen, pushed);
+        assert!(srv.is_empty());
     }
 
     #[test]
@@ -439,9 +825,184 @@ mod tests {
         let od = srv.overdue(s(5));
         assert_eq!(od.len(), 1);
         assert_eq!(od[0].1, SimDuration::from_secs(5));
+        // The visitor path agrees.
+        let mut count = 0;
+        srv.for_each_overdue(s(5), |_, sojourn| {
+            count += 1;
+            assert_eq!(sojourn, SimDuration::from_secs(5));
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn pushes_never_reorder_pending_completions() {
+        // The virtual-time invariant: a later, lighter arrival finishes
+        // first without ever touching the earlier request's finish point.
+        let mut srv = PsServer::new(SimTime::ZERO, 1, 2.4, 64);
+        let mut b = RequestBuilder::new();
+        let heavy = mk(&mut b, SimTime::ZERO, 2.4, 1.0);
+        let heavy_id = heavy.id;
+        srv.push(SimTime::ZERO, heavy);
+        let light = mk(&mut b, SimTime::from_millis(100), 0.24, 1.0);
+        let light_id = light.id;
+        srv.push(SimTime::from_millis(100), light);
+        // Light: 0.1 s of work at half share → done at 0.1 + 0.2 = 0.3 s.
+        let (eta, id) = srv.next_completion().unwrap();
+        assert_eq!(id, light_id);
+        assert_eq!(eta, SimTime::from_millis(300));
+        assert!(srv.try_complete(eta, light_id).is_some());
+        // Heavy ran 0..0.1 alone and 0.1..0.3 shared: 0.8 s of its 1 s
+        // remains, full share again → done at 1.1 s.
+        let (eta, id) = srv.next_completion().unwrap();
+        assert_eq!(id, heavy_id);
+        assert_eq!(eta, SimTime::from_millis(1100));
+        assert!(srv.try_complete(eta, heavy_id).is_some());
+    }
+
+    // ---- differential tests against the reference implementation ----
+
+    /// One random schedule op.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Push a request with (work, β) after a µs gap.
+        Push { gap_us: u64, work: f64, beta: f64 },
+        /// Change frequency after a µs gap.
+        SetFreq { gap_us: u64, rel_f: f64 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (0u64..200_000, 0.001f64..5.0, 0.0f64..1.0)
+                .prop_map(|(gap_us, work, beta)| Op::Push { gap_us, work, beta }),
+            1 => (0u64..500_000, prop::sample::select(vec![1.0, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5]))
+                .prop_map(|(gap_us, rel_f)| Op::SetFreq { gap_us, rel_f }),
+        ]
+    }
+
+    /// Fire every completion predicted at or before `horizon` on both
+    /// queues, asserting µs-identical (ETA, id) pairs — the simulator's
+    /// event discipline: completion events are delivered in time order,
+    /// so a request never sits past its finish point while external
+    /// events stream in.
+    fn drain_due_lockstep(
+        vt: &mut PsServer,
+        rf: &mut ReferencePsServer,
+        now: &mut SimTime,
+        horizon: SimTime,
+    ) -> Result<(), TestCaseError> {
+        loop {
+            vt.advance(*now);
+            rf.advance(*now);
+            let pv = vt.next_completion();
+            let pr = rf.next_completion();
+            match (pv, pr) {
+                (None, None) => return Ok(()),
+                (Some((tv, iv)), Some((tr, ir))) => {
+                    prop_assert_eq!(tv, tr, "ETA mismatch at n={}", vt.len());
+                    prop_assert_eq!(iv, ir, "completion-order mismatch at n={}", vt.len());
+                    let t = tv.max(*now);
+                    if t > horizon {
+                        return Ok(());
+                    }
+                    let cv = vt.try_complete(t, iv);
+                    let cr = rf.try_complete(t, ir);
+                    prop_assert_eq!(cv.is_some(), cr.is_some(), "stale-ETA disagreement");
+                    if let (Some((qv, sv)), Some((qr, sr))) = (&cv, &cr) {
+                        prop_assert_eq!(qv.id, qr.id);
+                        prop_assert_eq!(*sv, *sr, "sojourn mismatch");
+                    }
+                    *now = t;
+                    if cv.is_none() {
+                        continue;
+                    }
+                }
+                (pv, pr) => {
+                    return Err(TestCaseError::fail(format!(
+                        "occupancy disagreement: vt={pv:?} ref={pr:?}"
+                    )))
+                }
+            }
+        }
     }
 
     proptest! {
+        /// The virtual-time queue is observationally equivalent to the
+        /// reference queue on random (work, β, arrival, freq-change)
+        /// schedules: identical completion order, µs-identical ETAs and
+        /// sojourns, identical epochs and completed/rejected counters,
+        /// and bit-identical load aggregates.
+        #[test]
+        fn prop_virtual_time_equals_reference(
+            cores in 1usize..9,
+            cap in 4usize..48,
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+        ) {
+            let mut vt = PsServer::new(SimTime::ZERO, cores, 2.4, cap);
+            let mut rf = ReferencePsServer::new(SimTime::ZERO, cores, 2.4, cap);
+            let mut b = RequestBuilder::new();
+            let mut now = SimTime::ZERO;
+            for op in &ops {
+                let gap = match *op {
+                    Op::Push { gap_us, .. } => gap_us,
+                    Op::SetFreq { gap_us, .. } => gap_us,
+                };
+                let at = now + SimDuration::from_micros(gap);
+                drain_due_lockstep(&mut vt, &mut rf, &mut now, at)?;
+                now = at.max(now);
+                match *op {
+                    Op::Push { work, beta, .. } => {
+                        let r = mk(&mut b, now, work, beta);
+                        prop_assert_eq!(vt.push(now, r.clone()), rf.push(now, r));
+                    }
+                    Op::SetFreq { rel_f, .. } => {
+                        vt.set_rel_freq(now, rel_f);
+                        rf.set_rel_freq(now, rel_f);
+                    }
+                }
+                prop_assert_eq!(vt.epoch(), rf.epoch(), "epoch divergence");
+                prop_assert_eq!(vt.len(), rf.len());
+                prop_assert_eq!(vt.completed(), rf.completed());
+                prop_assert_eq!(vt.rejected(), rf.rejected());
+                prop_assert_eq!(vt.load_character(), rf.load_character());
+                prop_assert_eq!(vt.mean_beta(), rf.mean_beta());
+            }
+            // Run both to empty, then compare drains of nothing…
+            drain_due_lockstep(&mut vt, &mut rf, &mut now, SimTime::MAX)?;
+            prop_assert_eq!(vt.len(), rf.len());
+            prop_assert_eq!(vt.completed(), rf.completed());
+        }
+
+        /// Mid-schedule drains leave both queues in equivalent states —
+        /// abandoned requests come back in identical order.
+        #[test]
+        fn prop_drain_matches_reference(
+            cores in 1usize..5,
+            works in proptest::collection::vec(0.01f64..5.0, 1..30),
+            betas in proptest::collection::vec(0.0f64..1.0, 30),
+            drain_after_us in 0u64..3_000_000,
+        ) {
+            let mut vt = PsServer::new(SimTime::ZERO, cores, 2.4, 64);
+            let mut rf = ReferencePsServer::new(SimTime::ZERO, cores, 2.4, 64);
+            let mut b = RequestBuilder::new();
+            let mut now = SimTime::ZERO;
+            for (i, &w) in works.iter().enumerate() {
+                let at = now + SimDuration::from_micros(10_000 * i as u64);
+                drain_due_lockstep(&mut vt, &mut rf, &mut now, at)?;
+                now = at.max(now);
+                let r = mk(&mut b, now, w, betas[i]);
+                vt.push(now, r.clone());
+                rf.push(now, r);
+            }
+            let t = now + SimDuration::from_micros(drain_after_us);
+            drain_due_lockstep(&mut vt, &mut rf, &mut now, t)?;
+            now = t.max(now);
+            let mut dv = Vec::new();
+            vt.drain_with(now, |req| dv.push(req.id));
+            let dr: Vec<_> = rf.drain(now).into_iter().map(|r| r.id).collect();
+            prop_assert_eq!(dv, dr, "drain order mismatch");
+            prop_assert_eq!(vt.epoch(), rf.epoch());
+        }
+
         /// Work conservation: total G-cycles completed never exceed
         /// capacity × time, and every accepted request eventually finishes.
         #[test]

@@ -18,6 +18,9 @@
 //!   simulated time and event count.
 //! * [`trace`] — a bounded ring-buffer event trace for post-mortem
 //!   debugging of simulations.
+//! * [`fxhash`] — deterministic FxHash-style hashing
+//!   ([`fxhash::FxHashMap`]) for hot simulator-internal maps, replacing
+//!   `RandomState`'s SipHash + per-process random seeding.
 //!
 //! ## Example
 //!
@@ -49,12 +52,14 @@
 
 pub mod engine;
 pub mod event;
+pub mod fxhash;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, RunOutcome, Scheduler, SimModel};
 pub use event::{EventQueue, Scheduled};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEntry};

@@ -10,6 +10,7 @@ use antidope::{run_experiment, ClusterConfig, ExperimentConfig, SchemeKind, SimR
 use dcmetrics::export::Table;
 use powercap::BudgetLevel;
 use rayon::prelude::*;
+use simcore::faults::FaultConfig;
 use simcore::{SimDuration, SimTime};
 use workloads::attacker::{AttackTool, FloodSource};
 use workloads::dope::{DopeAttacker, DopeConfig};
@@ -472,6 +473,64 @@ pub fn seeds(mode: RunMode) -> Vec<Table> {
             format!("{:.1}%", m * 100.0),
             format!("{:.1}%", p * 100.0),
             ok.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl-faults`: graceful degradation under telemetry decay — sweep the
+/// per-sample sensor-dropout probability and check whether the hardened
+/// control plane preserves the paper's headline ordering (Anti-DOPE's
+/// p90 below Capping's) as the controller goes progressively blind.
+pub fn faults(mode: RunMode) -> Vec<Table> {
+    let secs = mode.cell_secs().max(120);
+    let dropouts = [0.0, 0.05, 0.10, 0.20];
+    let cells: Vec<(SchemeKind, f64)> = [SchemeKind::Capping, SchemeKind::AntiDope]
+        .iter()
+        .flat_map(|&s| dropouts.iter().map(move |&p| (s, p)))
+        .collect();
+    let reports: Vec<(SchemeKind, f64, SimReport)> = cells
+        .par_iter()
+        .map(|&(scheme, p)| {
+            let mut exp =
+                scenarios::experiment(scheme, BudgetLevel::Low, secs, mode.seed, true);
+            if p > 0.0 {
+                exp.cluster.faults = Some(FaultConfig {
+                    sensor_dropout_p: p,
+                    ..FaultConfig::default()
+                });
+            }
+            (
+                scheme,
+                p,
+                run_experiment(&exp, &|e: &ExperimentConfig| standard_sources(e, 390.0)),
+            )
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: sensor dropout sweep (Low-PB, 390 req/s Colla-Filt)",
+        &[
+            "scheme",
+            "dropout",
+            "p90_ms",
+            "availability",
+            "peak_W",
+            "violations",
+            "degraded_slots",
+            "actuator_giveups",
+        ],
+    );
+    for (k, p, r) in &reports {
+        let f = r.faults.clone().unwrap_or_default();
+        t.push_row(vec![
+            k.name().to_string(),
+            format!("{:.0}%", p * 100.0),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            format!("{:.1}%", r.availability() * 100.0),
+            Table::fmt_f64(r.power.peak_w),
+            r.power.violations.to_string(),
+            f.degraded_slots.to_string(),
+            f.actuator_giveups.to_string(),
         ]);
     }
     vec![t]

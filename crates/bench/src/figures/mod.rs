@@ -30,7 +30,7 @@ pub const ALL_IDS: [&str; 16] = [
 // "fig17", or "fig19" (all dispatch into fig16_17_19).
 
 /// Ablation studies beyond the paper (DESIGN.md §8).
-pub const ABLATION_IDS: [&str; 10] = [
+pub const ABLATION_IDS: [&str; 11] = [
     "abl-framework",
     "abl-threshold",
     "abl-pool",
@@ -40,6 +40,7 @@ pub const ABLATION_IDS: [&str; 10] = [
     "abl-tools",
     "abl-breaker",
     "abl-thermal",
+    "abl-faults",
     "abl-seeds",
 ];
 
@@ -70,6 +71,7 @@ pub fn run(id: &str, mode: RunMode) -> Option<Vec<Table>> {
         "abl-tools" => ablations::tools(mode),
         "abl-breaker" => ablations::breaker(mode),
         "abl-thermal" => ablations::thermal(mode),
+        "abl-faults" => ablations::faults(mode),
         "abl-seeds" => ablations::seeds(mode),
         _ => return None,
     })

@@ -10,7 +10,7 @@
 //! exercise exactly the code paths the figures measure.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod figures;
 pub mod plots;

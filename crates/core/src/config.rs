@@ -2,7 +2,71 @@
 
 use powercap::BudgetLevel;
 use serde::{Deserialize, Serialize};
+use simcore::faults::{FaultConfig, FaultError};
 use simcore::SimDuration;
+
+/// Why a cluster configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The simulated cluster needs at least two servers (one suspect +
+    /// one innocent under Anti-DOPE).
+    TooFewServers {
+        /// Configured server count.
+        servers: usize,
+    },
+    /// A count parameter that must be at least one was zero.
+    ZeroCount {
+        /// Parameter name.
+        what: &'static str,
+    },
+    /// A duration parameter that must be non-zero was zero.
+    ZeroDuration {
+        /// Parameter name.
+        what: &'static str,
+    },
+    /// The suspect pool must leave at least one innocent server.
+    SuspectPool {
+        /// Configured suspect pool size.
+        pool: usize,
+        /// Configured server count.
+        servers: usize,
+    },
+    /// A suspicion threshold outside `[0, 1]`.
+    Threshold {
+        /// Offending value.
+        value: f64,
+    },
+    /// The fault-injection plan was invalid.
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewServers { servers } => {
+                write!(f, "need at least 2 servers, got {servers}")
+            }
+            ConfigError::ZeroCount { what } => write!(f, "{what} must be at least 1"),
+            ConfigError::ZeroDuration { what } => write!(f, "{what} must be non-zero"),
+            ConfigError::SuspectPool { pool, servers } => write!(
+                f,
+                "suspect pool of {pool} must leave innocent servers (cluster has {servers})"
+            ),
+            ConfigError::Threshold { value } => {
+                write!(f, "suspect threshold {value} is outside [0, 1]")
+            }
+            ConfigError::Fault(e) => write!(f, "fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<FaultError> for ConfigError {
+    fn from(e: FaultError) -> Self {
+        ConfigError::Fault(e)
+    }
+}
 
 /// Which power-management scheme runs the cluster (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -85,6 +149,11 @@ pub struct ClusterConfig {
     pub breaker_trip_delay: SimDuration,
     /// Model node thermals (PROCHOT clamping + critical trip).
     pub thermal: bool,
+    /// Fault-injection plan. `None` (the default) disables the fault
+    /// layer entirely and the simulation is byte-identical to a build
+    /// without it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultConfig>,
 }
 
 impl ClusterConfig {
@@ -108,6 +177,7 @@ impl ClusterConfig {
             breaker_rating_factor: 1.10,
             breaker_trip_delay: SimDuration::from_secs(30),
             thermal: false,
+            faults: None,
         }
     }
 
@@ -132,16 +202,44 @@ impl ClusterConfig {
         self.aggregate_nameplate_w() * self.budget.fraction()
     }
 
-    /// Validate internal consistency (called by the simulator).
-    pub fn validate(&self) {
-        assert!(self.servers >= 2, "need at least 2 servers");
-        assert!(self.cores_per_server >= 1);
-        assert!(self.max_inflight >= 1);
-        assert!(
-            self.suspect_pool_size >= 1 && self.suspect_pool_size < self.servers,
-            "suspect pool must leave innocent servers"
-        );
-        assert!(!self.control_slot.is_zero());
+    /// Validate internal consistency (called by the simulator before any
+    /// component is built).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.servers < 2 {
+            return Err(ConfigError::TooFewServers {
+                servers: self.servers,
+            });
+        }
+        if self.cores_per_server < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "cores_per_server",
+            });
+        }
+        if self.max_inflight < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "max_inflight",
+            });
+        }
+        if self.suspect_pool_size < 1 || self.suspect_pool_size >= self.servers {
+            return Err(ConfigError::SuspectPool {
+                pool: self.suspect_pool_size,
+                servers: self.servers,
+            });
+        }
+        if self.control_slot.is_zero() {
+            return Err(ConfigError::ZeroDuration {
+                what: "control_slot",
+            });
+        }
+        if self.battery_sustain.is_zero() {
+            return Err(ConfigError::ZeroDuration {
+                what: "battery_sustain",
+            });
+        }
+        if let Some(f) = &self.faults {
+            f.validate(self.servers)?;
+        }
+        Ok(())
     }
 }
 
@@ -185,7 +283,8 @@ mod tests {
         assert_eq!(c.aggregate_nameplate_w(), 400.0);
         assert!((c.supply_w() - 340.0).abs() < 1e-9);
         assert_eq!(c.firewall_threshold_rps, 150.0);
-        c.validate();
+        assert!(c.faults.is_none());
+        c.validate().unwrap();
     }
 
     #[test]
@@ -196,11 +295,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "suspect pool")]
     fn validate_rejects_all_suspect() {
         let mut c = ClusterConfig::paper_rack(BudgetLevel::Normal);
         c.suspect_pool_size = 4;
-        c.validate();
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::SuspectPool {
+                pool: 4,
+                servers: 4
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_plan() {
+        let mut c = ClusterConfig::paper_rack(BudgetLevel::Normal);
+        let mut f = FaultConfig::default();
+        f.sensor_dropout_p = 1.5;
+        c.faults = Some(f);
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::Fault(FaultError::Probability { .. })
+        ));
+        // A clean plan passes and round-trips through serde; a config
+        // without faults serializes without the field at all.
+        c.faults = Some(FaultConfig::default());
+        c.validate().unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("faults"));
+        c.faults = None;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("faults"));
     }
 
     #[test]
@@ -219,6 +344,6 @@ mod tests {
         let c = ClusterConfig::scaled(BudgetLevel::High);
         assert_eq!(c.servers, 16);
         assert_eq!(c.suspect_pool_size, 2);
-        c.validate();
+        c.validate().unwrap();
     }
 }

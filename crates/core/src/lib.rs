@@ -26,13 +26,18 @@
 //!   (scheme × budget × seed) sweeps.
 //! * [`results`] — [`results::SimReport`]: everything the paper's
 //!   figures need, serializable to JSON.
+//! * [`health`] — the hardened-control-plane pieces the fault-injection
+//!   layer exercises: last-good-value telemetry estimation, a
+//!   coverage watchdog with recovery hysteresis, and actuator read-back
+//!   verification with bounded retry.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod config;
 pub mod dpm;
+pub mod health;
 pub mod node;
 pub mod pdf;
 pub mod request_control;
@@ -42,9 +47,10 @@ pub mod scheme;
 
 
 pub use cluster::ClusterSim;
-pub use config::{ClusterConfig, ExperimentConfig, SchemeKind};
+pub use config::{ClusterConfig, ConfigError, ExperimentConfig, SchemeKind};
+pub use health::{ActuatorVerify, TelemetryHealth, Watchdog};
 pub use node::ComputeNode;
-pub use results::SimReport;
+pub use results::{FaultReport, SimReport};
 pub use runner::{run_experiment, run_matrix};
 
 

@@ -127,21 +127,57 @@ impl ComputeNode {
         self.dvfs.command(now, target)
     }
 
+    /// [`ComputeNode::command_pstate`] with an extra actuation delay
+    /// (fault injection: the command reaches the governor late).
+    pub fn command_pstate_after(
+        &mut self,
+        now: SimTime,
+        target: PState,
+        extra: SimDuration,
+    ) -> SimTime {
+        self.dvfs.command_delayed(now, target, extra)
+    }
+
     /// Command via a RAPL watt limit resolved against the resident load;
     /// returns `(chosen state, settle instant)`.
     pub fn command_power_limit(&mut self, now: SimTime, limit_w: Option<f64>) -> (PState, SimTime) {
+        self.command_power_limit_after(now, limit_w, SimDuration::ZERO)
+    }
+
+    /// [`ComputeNode::command_power_limit`] with an extra actuation delay
+    /// (fault injection).
+    pub fn command_power_limit_after(
+        &mut self,
+        now: SimTime,
+        limit_w: Option<f64>,
+        extra: SimDuration,
+    ) -> (PState, SimTime) {
+        let (i, g) = self.limit_mix();
+        let state = self
+            .rapl
+            .set_limit_delayed(now, &mut self.dvfs, limit_w, i, g, extra);
+        let settle = self.dvfs.pending_settle().unwrap_or(now);
+        (state, settle)
+    }
+
+    /// The P-state a watt limit would resolve to right now, without
+    /// commanding anything — the controller records this as its actuation
+    /// intent for read-back verification.
+    pub fn resolve_power_limit(&self, limit_w: Option<f64>) -> PState {
+        let (i, g) = self.limit_mix();
+        self.rapl.resolve(limit_w, i, g)
+    }
+
+    /// The `(intensity, gamma)` mix limits resolve against. An idle node
+    /// reports zero intensity; resolve against a worst-case resident mix
+    /// so the cap still binds when load lands mid-slot.
+    fn limit_mix(&self) -> (f64, f64) {
         let (_, intensity, gamma) = self.queue.load_character();
-        // An idle node reports zero intensity; resolve the limit against
-        // a worst-case resident mix so the cap still binds when load
-        // lands mid-slot.
-        let (i, g) = if intensity == 0.0 {
+        if intensity == 0.0 {
             (1.0, 0.9)
         } else {
             (intensity, gamma)
-        };
-        let state = self.rapl.set_limit(now, &mut self.dvfs, limit_w, i, g);
-        let settle = self.dvfs.pending_settle().unwrap_or(now);
-        (state, settle)
+        }
     }
 
     /// Apply any matured DVFS transition to the queue speed. Call at the
@@ -260,6 +296,22 @@ mod tests {
         // Same state as a fully-loaded CPU-bound node would get.
         let m = ServerPowerModel::paper_default();
         assert_eq!(state, m.state_for_cap(70.0, 1.0, 0.9));
+    }
+
+    #[test]
+    fn delayed_commands_settle_late() {
+        let mut n = node();
+        let settle = n.command_pstate_after(SimTime::ZERO, PState(3), SimDuration::from_secs(2));
+        assert_eq!(settle, SimTime::from_millis(2_010));
+        n.apply_dvfs(SimTime::from_secs(1));
+        assert_eq!(n.effective_pstate(), PState(12));
+        n.apply_dvfs(settle);
+        assert_eq!(n.effective_pstate(), PState(3));
+        // resolve_power_limit matches what the delayed command picks.
+        let want = n.resolve_power_limit(Some(70.0));
+        let (state, _) =
+            n.command_power_limit_after(settle, Some(70.0), SimDuration::from_millis(500));
+        assert_eq!(state, want);
     }
 
     #[test]

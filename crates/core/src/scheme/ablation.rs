@@ -21,7 +21,9 @@ pub struct PdfOnlyScheme;
 impl PdfOnlyScheme {
     /// Build (stateless).
     pub fn new(config: &ClusterConfig) -> Self {
-        config.validate();
+        config
+            .validate()
+            .expect("PdfOnly requires a valid cluster config");
         PdfOnlyScheme
     }
 }

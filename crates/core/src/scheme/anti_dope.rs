@@ -37,15 +37,28 @@ impl AntiDopeScheme {
     }
 
     /// Build with a custom suspicion threshold (ablation studies).
+    /// Panics on an invalid config or threshold; use
+    /// [`AntiDopeScheme::try_with_threshold`] to handle errors.
     pub fn with_threshold(config: &ClusterConfig, threshold: f64) -> Self {
-        config.validate();
-        assert!((0.0..=1.0).contains(&threshold));
-        AntiDopeScheme {
+        Self::try_with_threshold(config, threshold)
+            .expect("with_threshold: invalid cluster config or threshold")
+    }
+
+    /// Fallible constructor with a custom suspicion threshold.
+    pub fn try_with_threshold(
+        config: &ClusterConfig,
+        threshold: f64,
+    ) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
+        if !(0.0..=1.0).contains(&threshold) || !threshold.is_finite() {
+            return Err(crate::config::ConfigError::Threshold { value: threshold });
+        }
+        Ok(AntiDopeScheme {
             model: ServerPowerModel::paper_default(),
             threshold,
             calm_slots: 0,
             throttling: false,
-        }
+        })
     }
 
     fn node_states(&self, input: &ControlInput) -> Vec<NodeState> {

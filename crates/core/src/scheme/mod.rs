@@ -72,6 +72,10 @@ pub struct ControlInput {
     pub battery_max_charge_w: f64,
     /// Watts the battery is currently discharging.
     pub battery_discharging_w: f64,
+    /// Fraction of nodes whose power telemetry was fresh this slot
+    /// (`1.0` when the fault layer is disabled). Schemes may throttle
+    /// more conservatively when partially blind.
+    pub telemetry_coverage: f64,
 }
 
 impl ControlInput {
@@ -185,7 +189,7 @@ pub(crate) mod testutil {
     /// demand and supply; the condition is derived from a fresh monitor.
     pub fn input(demand_w: f64, supply_frac: BudgetLevel, utils: [f64; 4]) -> ControlInput {
         let budget = PowerBudget::for_cluster(400.0, supply_frac);
-        let mut monitor = PowerMonitor::new(budget, 5, 1);
+        let mut monitor = PowerMonitor::new(budget, 5, 1).unwrap();
         let condition = monitor.observe(SimTime::from_secs(1), demand_w);
         ControlInput {
             now: SimTime::from_secs(1),
@@ -210,6 +214,7 @@ pub(crate) mod testutil {
             battery_max_discharge_w: 400.0,
             battery_max_charge_w: 100.0,
             battery_discharging_w: 0.0,
+            telemetry_coverage: 1.0,
         }
     }
 }

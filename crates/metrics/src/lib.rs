@@ -20,7 +20,7 @@
 //!   experiment harness.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod availability;
 pub mod cdf;

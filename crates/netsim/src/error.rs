@@ -1,0 +1,73 @@
+//! Typed configuration errors for netsim components.
+//!
+//! Constructors taking user-supplied topology (backend counts,
+//! forwarding pools) return these instead of panicking, so experiment
+//! configs assembled from files get a diagnosable error. Internal
+//! invariants remain `assert!`s naming the invariant.
+
+use std::fmt;
+
+/// Why a netsim component rejected its configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The NLB needs at least one backend.
+    NoBackends,
+    /// A UrlSplit forwarding pool was empty.
+    EmptyPool {
+        /// Which pool: `"suspect"` or `"innocent"`.
+        pool: &'static str,
+    },
+    /// A pool referenced a backend index outside `0..backends`.
+    PoolIndexOutOfRange {
+        /// Offending backend index.
+        index: usize,
+        /// Number of backends.
+        backends: usize,
+    },
+    /// The suspect and innocent pools share a backend.
+    OverlappingPools {
+        /// A backend present in both pools.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoBackends => write!(f, "NLB needs at least one backend"),
+            ConfigError::EmptyPool { pool } => {
+                write!(f, "{pool} pool must be non-empty")
+            }
+            ConfigError::PoolIndexOutOfRange { index, backends } => {
+                write!(
+                    f,
+                    "pool index {index} out of range for {backends} backends"
+                )
+            }
+            ConfigError::OverlappingPools { index } => {
+                write!(f, "pools must be disjoint; backend {index} is in both")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(format!("{}", ConfigError::NoBackends).contains("backend"));
+        let e = ConfigError::EmptyPool { pool: "suspect" };
+        assert!(format!("{e}").contains("suspect"));
+        let e = ConfigError::PoolIndexOutOfRange {
+            index: 5,
+            backends: 2,
+        };
+        assert!(format!("{e}").contains('5'));
+        let e = ConfigError::OverlappingPools { index: 1 };
+        assert!(format!("{e}").contains("disjoint"));
+    }
+}

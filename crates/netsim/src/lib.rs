@@ -21,8 +21,9 @@
 //! * [`SuspectList`] — the URL → power-intensity map PDF consults.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
+pub mod error;
 pub mod firewall;
 pub mod nlb;
 pub mod queueing;
@@ -30,6 +31,7 @@ pub mod request;
 pub mod suspect;
 pub mod token_bucket;
 
+pub use error::ConfigError;
 pub use firewall::{Firewall, FirewallConfig, FirewallVerdict};
 pub use nlb::{ForwardingPolicy, Nlb};
 pub use queueing::{PsServer, PushOutcome};

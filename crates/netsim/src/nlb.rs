@@ -9,6 +9,7 @@
 //!   to the isolated *suspect pool*, everything else to the main pool
 //!   (the "url-based forwarding module" + "package rewriter" of Fig 14).
 
+use crate::error::ConfigError;
 use crate::request::Request;
 use crate::suspect::SuspectList;
 
@@ -41,41 +42,52 @@ pub struct Nlb {
     innocent_cursor: usize,
     /// Last reported per-backend load (in-flight counts).
     loads: Vec<usize>,
+    /// Health-check verdict per backend; routing skips unhealthy ones.
+    healthy: Vec<bool>,
     forwarded: u64,
     to_suspect_pool: u64,
 }
 
 impl Nlb {
     /// NLB over `backends` servers.
-    pub fn new(backends: usize, policy: ForwardingPolicy) -> Self {
-        assert!(backends >= 1);
+    pub fn new(backends: usize, policy: ForwardingPolicy) -> Result<Self, ConfigError> {
+        if backends < 1 {
+            return Err(ConfigError::NoBackends);
+        }
         if let ForwardingPolicy::UrlSplit {
             suspect_pool,
             innocent_pool,
             ..
         } = &policy
         {
-            assert!(!suspect_pool.is_empty(), "suspect pool must be non-empty");
-            assert!(!innocent_pool.is_empty(), "innocent pool must be non-empty");
-            assert!(
-                suspect_pool.iter().chain(innocent_pool).all(|&i| i < backends),
-                "pool index out of range"
-            );
-            assert!(
-                suspect_pool.iter().all(|i| !innocent_pool.contains(i)),
-                "pools must be disjoint"
-            );
+            if suspect_pool.is_empty() {
+                return Err(ConfigError::EmptyPool { pool: "suspect" });
+            }
+            if innocent_pool.is_empty() {
+                return Err(ConfigError::EmptyPool { pool: "innocent" });
+            }
+            if let Some(&index) = suspect_pool
+                .iter()
+                .chain(innocent_pool)
+                .find(|&&i| i >= backends)
+            {
+                return Err(ConfigError::PoolIndexOutOfRange { index, backends });
+            }
+            if let Some(&index) = suspect_pool.iter().find(|i| innocent_pool.contains(i)) {
+                return Err(ConfigError::OverlappingPools { index });
+            }
         }
-        Nlb {
+        Ok(Nlb {
             backends,
             policy,
             rr_cursor: 0,
             suspect_cursor: 0,
             innocent_cursor: 0,
             loads: vec![0; backends],
+            healthy: vec![true; backends],
             forwarded: 0,
             to_suspect_pool: 0,
-        }
+        })
     }
 
     /// Number of backends.
@@ -86,6 +98,22 @@ impl Nlb {
     /// Feed back a backend's current in-flight count (LeastLoaded input).
     pub fn report_load(&mut self, backend: usize, inflight: usize) {
         self.loads[backend] = inflight;
+    }
+
+    /// Health-check verdict for a backend. Unhealthy backends are skipped
+    /// by all forwarding policies until marked healthy again.
+    pub fn set_health(&mut self, backend: usize, ok: bool) {
+        self.healthy[backend] = ok;
+    }
+
+    /// Whether a backend currently passes health checks.
+    pub fn is_healthy(&self, backend: usize) -> bool {
+        self.healthy[backend]
+    }
+
+    /// Number of backends currently passing health checks.
+    pub fn healthy_backends(&self) -> usize {
+        self.healthy.iter().filter(|&&h| h).count()
     }
 
     /// Total requests forwarded.
@@ -109,41 +137,74 @@ impl Nlb {
     }
 
     /// Choose the backend for `req`.
+    ///
+    /// Unhealthy backends are routed around: round-robin cursors skip
+    /// them, least-loaded ignores them in the min-scan, and UrlSplit
+    /// skips them within each pool. If *every* candidate is unhealthy the
+    /// NLB still forwards (to the first candidate it tried) — a dead
+    /// backend rejecting the request models the real-world connection
+    /// failure better than the balancer silently black-holing it.
     pub fn route(&mut self, req: &Request) -> usize {
         self.forwarded += 1;
         match &self.policy {
             ForwardingPolicy::RoundRobin => {
-                let b = self.rr_cursor % self.backends;
+                let first = self.rr_cursor % self.backends;
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
-                b
+                let mut b = first;
+                let mut tried = 1;
+                while !self.healthy[b] && tried < self.backends {
+                    b = self.rr_cursor % self.backends;
+                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                    tried += 1;
+                }
+                if self.healthy[b] {
+                    b
+                } else {
+                    first
+                }
             }
             ForwardingPolicy::LeastLoaded => {
-                // Smallest load; ties break on the lowest index for
-                // determinism.
-                let mut best = 0;
-                for i in 1..self.backends {
-                    if self.loads[i] < self.loads[best] {
-                        best = i;
+                // Smallest load among healthy backends; ties break on the
+                // lowest index for determinism.
+                let mut best: Option<usize> = None;
+                for i in 0..self.backends {
+                    if !self.healthy[i] {
+                        continue;
+                    }
+                    match best {
+                        Some(b) if self.loads[i] >= self.loads[b] => {}
+                        _ => best = Some(i),
                     }
                 }
+                let b = best.unwrap_or(0);
                 // Optimistically count the new request so bursts spread.
-                self.loads[best] += 1;
-                best
+                self.loads[b] += 1;
+                b
             }
             ForwardingPolicy::UrlSplit {
                 list,
                 suspect_pool,
                 innocent_pool,
             } => {
-                if list.is_suspect(req.url) {
+                let (pool, cursor) = if list.is_suspect(req.url) {
                     self.to_suspect_pool += 1;
-                    let b = suspect_pool[self.suspect_cursor % suspect_pool.len()];
-                    self.suspect_cursor = self.suspect_cursor.wrapping_add(1);
+                    (suspect_pool, &mut self.suspect_cursor)
+                } else {
+                    (innocent_pool, &mut self.innocent_cursor)
+                };
+                let first = pool[*cursor % pool.len()];
+                *cursor = cursor.wrapping_add(1);
+                let mut b = first;
+                let mut tried = 1;
+                while !self.healthy[b] && tried < pool.len() {
+                    b = pool[*cursor % pool.len()];
+                    *cursor = cursor.wrapping_add(1);
+                    tried += 1;
+                }
+                if self.healthy[b] {
                     b
                 } else {
-                    let b = innocent_pool[self.innocent_cursor % innocent_pool.len()];
-                    self.innocent_cursor = self.innocent_cursor.wrapping_add(1);
-                    b
+                    first
                 }
             }
         }
@@ -172,7 +233,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let mut nlb = Nlb::new(3, ForwardingPolicy::RoundRobin);
+        let mut nlb = Nlb::new(3, ForwardingPolicy::RoundRobin).unwrap();
         let mut b = RequestBuilder::new();
         let picks: Vec<usize> = (0..6).map(|_| nlb.route(&req(&mut b, 0))).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
@@ -181,7 +242,7 @@ mod tests {
 
     #[test]
     fn least_loaded_follows_feedback() {
-        let mut nlb = Nlb::new(3, ForwardingPolicy::LeastLoaded);
+        let mut nlb = Nlb::new(3, ForwardingPolicy::LeastLoaded).unwrap();
         let mut b = RequestBuilder::new();
         nlb.report_load(0, 10);
         nlb.report_load(1, 2);
@@ -195,7 +256,7 @@ mod tests {
 
     #[test]
     fn least_loaded_spreads_bursts() {
-        let mut nlb = Nlb::new(4, ForwardingPolicy::LeastLoaded);
+        let mut nlb = Nlb::new(4, ForwardingPolicy::LeastLoaded).unwrap();
         let mut b = RequestBuilder::new();
         // With zero feedback, optimistic counting spreads a burst evenly.
         let picks: Vec<usize> = (0..8).map(|_| nlb.route(&req(&mut b, 0))).collect();
@@ -218,6 +279,7 @@ mod tests {
                 innocent_pool: vec![0, 1, 2],
             },
         )
+        .unwrap()
     }
 
     #[test]
@@ -241,30 +303,93 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pools must be disjoint")]
     fn overlapping_pools_rejected() {
         let list = SuspectList::new(0.7, FlowClass::Innocent);
-        Nlb::new(
+        let err = Nlb::new(
             4,
             ForwardingPolicy::UrlSplit {
                 list,
                 suspect_pool: vec![0, 1],
                 innocent_pool: vec![1, 2],
             },
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::OverlappingPools { index: 1 });
     }
 
     #[test]
-    #[should_panic(expected = "pool index out of range")]
     fn out_of_range_pool_rejected() {
         let list = SuspectList::new(0.7, FlowClass::Innocent);
-        Nlb::new(
+        let err = Nlb::new(
             2,
             ForwardingPolicy::UrlSplit {
                 list,
                 suspect_pool: vec![5],
                 innocent_pool: vec![0],
             },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::PoolIndexOutOfRange {
+                index: 5,
+                backends: 2
+            }
         );
+        assert_eq!(
+            Nlb::new(0, ForwardingPolicy::RoundRobin).unwrap_err(),
+            ConfigError::NoBackends
+        );
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy() {
+        let mut nlb = Nlb::new(3, ForwardingPolicy::RoundRobin).unwrap();
+        let mut b = RequestBuilder::new();
+        nlb.set_health(1, false);
+        let picks: Vec<usize> = (0..4).map(|_| nlb.route(&req(&mut b, 0))).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+        // Recovery re-admits the backend into the rotation.
+        nlb.set_health(1, true);
+        assert_eq!(nlb.healthy_backends(), 3);
+        let picks: Vec<usize> = (0..3).map(|_| nlb.route(&req(&mut b, 0))).collect();
+        assert!(picks.contains(&1));
+    }
+
+    #[test]
+    fn least_loaded_ignores_unhealthy() {
+        let mut nlb = Nlb::new(3, ForwardingPolicy::LeastLoaded).unwrap();
+        let mut b = RequestBuilder::new();
+        nlb.report_load(0, 10);
+        nlb.report_load(1, 2);
+        nlb.report_load(2, 5);
+        nlb.set_health(1, false);
+        // Backend 1 has the least load but is down: pick 2 instead.
+        assert_eq!(nlb.route(&req(&mut b, 0)), 2);
+    }
+
+    #[test]
+    fn url_split_pool_routes_around_dead_member() {
+        let mut nlb = split_nlb();
+        let mut b = RequestBuilder::new();
+        nlb.set_health(1, false);
+        let innocents: Vec<usize> = (0..4).map(|_| nlb.route(&req(&mut b, 3))).collect();
+        assert_eq!(innocents, vec![0, 2, 0, 2]);
+        // Suspect pool has a single member; if it dies, traffic still
+        // lands there (and is rejected by the dead node) rather than
+        // leaking into the innocent pool.
+        nlb.set_health(3, false);
+        assert_eq!(nlb.route(&req(&mut b, 0)), 3);
+    }
+
+    #[test]
+    fn all_dead_still_forwards_deterministically() {
+        let mut nlb = Nlb::new(2, ForwardingPolicy::RoundRobin).unwrap();
+        let mut b = RequestBuilder::new();
+        nlb.set_health(0, false);
+        nlb.set_health(1, false);
+        let first = nlb.route(&req(&mut b, 0));
+        assert!(first < 2);
+        assert_eq!(nlb.forwarded(), 1);
     }
 }

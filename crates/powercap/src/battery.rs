@@ -7,6 +7,7 @@
 //! reconfiguring V/F. The model tracks stored energy exactly, limits
 //! charge/discharge rates, and applies a round-trip efficiency on charge.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
@@ -65,10 +66,25 @@ impl Battery {
         max_discharge_w: f64,
         max_charge_w: f64,
         charge_efficiency: f64,
-    ) -> Self {
-        assert!(capacity_j > 0.0 && max_discharge_w > 0.0 && max_charge_w > 0.0);
-        assert!((0.0..=1.0).contains(&charge_efficiency) && charge_efficiency > 0.0);
-        Battery {
+    ) -> Result<Self, ConfigError> {
+        for (what, value) in [
+            ("capacity_j", capacity_j),
+            ("max_discharge_w", max_discharge_w),
+            ("max_charge_w", max_charge_w),
+        ] {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(ConfigError::NonPositive { what, value });
+            }
+        }
+        if !(charge_efficiency > 0.0 && charge_efficiency <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                what: "charge_efficiency",
+                value: charge_efficiency,
+                lo: 0.0,
+                hi: 1.0,
+            });
+        }
+        Ok(Battery {
             capacity_j,
             stored_j: capacity_j,
             max_discharge_w,
@@ -79,7 +95,7 @@ impl Battery {
             total_discharged_j: 0.0,
             total_charge_drawn_j: 0.0,
             discharge_episodes: 0,
-        }
+        })
     }
 
     /// The paper's battery: sized to carry `cluster_nameplate_w` for
@@ -88,6 +104,19 @@ impl Battery {
     pub fn sized_for(start: SimTime, cluster_nameplate_w: f64, sustain: SimDuration) -> Self {
         let cap = cluster_nameplate_w * sustain.as_secs_f64();
         Battery::new(start, cap, cluster_nameplate_w, cluster_nameplate_w * 0.25, 0.9)
+            .expect("sized_for invariant: positive nameplate and non-zero sustain")
+    }
+
+    /// Shrink usable capacity to `keep_fraction` of its current value
+    /// (aging / fault injection), clamping stored energy to the new
+    /// capacity. The fraction must lie in `(0, 1]`.
+    pub fn derate(&mut self, keep_fraction: f64) {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "derate invariant: keep_fraction must lie in (0, 1], got {keep_fraction}"
+        );
+        self.capacity_j *= keep_fraction;
+        self.stored_j = self.stored_j.min(self.capacity_j);
     }
 
     /// Usable capacity, joules.
@@ -252,7 +281,36 @@ mod tests {
 
     fn batt() -> Battery {
         // 100 W for 120 s = 12 kJ, discharge up to 100 W, charge up to 25 W.
-        Battery::new(s(0), 12_000.0, 100.0, 25.0, 0.9)
+        Battery::new(s(0), 12_000.0, 100.0, 25.0, 0.9).unwrap()
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(matches!(
+            Battery::new(s(0), 0.0, 100.0, 25.0, 0.9),
+            Err(ConfigError::NonPositive { what: "capacity_j", .. })
+        ));
+        assert!(matches!(
+            Battery::new(s(0), 100.0, -1.0, 25.0, 0.9),
+            Err(ConfigError::NonPositive { what: "max_discharge_w", .. })
+        ));
+        assert!(matches!(
+            Battery::new(s(0), 100.0, 100.0, 25.0, 1.5),
+            Err(ConfigError::OutOfRange { what: "charge_efficiency", .. })
+        ));
+    }
+
+    #[test]
+    fn derate_shrinks_capacity_and_clamps_stored() {
+        let mut b = batt();
+        b.derate(0.75);
+        assert!((b.capacity_j() - 9_000.0).abs() < 1e-9);
+        // Started full: stored clamps down to the faded capacity.
+        assert!((b.stored_j() - 9_000.0).abs() < 1e-9);
+        assert!(b.is_full());
+        // Discharge math follows the new capacity.
+        b.start_discharge(s(0), 100.0);
+        assert!((b.time_to_bound().unwrap().as_secs_f64() - 90.0).abs() < 1e-9);
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub struct PowerBudget {
 impl PowerBudget {
     /// Budget for a cluster with the given aggregate nameplate at `level`.
     pub fn for_cluster(aggregate_nameplate_w: f64, level: BudgetLevel) -> Self {
-        assert!(aggregate_nameplate_w > 0.0);
+        assert!(
+            aggregate_nameplate_w > 0.0,
+            "for_cluster invariant: aggregate nameplate must be positive, got {aggregate_nameplate_w}"
+        );
         PowerBudget {
             supply_w: aggregate_nameplate_w * level.fraction(),
             level,

@@ -60,15 +60,22 @@ impl DvfsController {
     /// which the new state becomes effective (immediately if the target
     /// equals the current effective state and nothing is in flight).
     pub fn command(&mut self, now: SimTime, target: PState) -> SimTime {
+        self.command_delayed(now, target, SimDuration::ZERO)
+    }
+
+    /// [`DvfsController::command`] with an additional settle delay on top
+    /// of the baseline transition latency — used by fault injection to
+    /// model a command that reaches the governor late.
+    pub fn command_delayed(&mut self, now: SimTime, target: PState, extra: SimDuration) -> SimTime {
         let target = self.table.clamp(target);
         self.advance(now);
-        if target == self.effective && self.settles_at.is_none() {
+        if target == self.effective && self.settles_at.is_none() && extra.is_zero() {
             self.target = target;
             return now;
         }
         self.target = target;
         self.transitions += 1;
-        let settle = now + self.transition_latency;
+        let settle = now + self.transition_latency + extra;
         self.settles_at = Some(settle);
         settle
     }
@@ -191,6 +198,29 @@ mod tests {
         c.advance(ms(10)); // re-reading an old timestamp is harmless
         assert_eq!(c.effective(), PState(3));
         assert_eq!(c.pending_settle(), None);
+    }
+
+    #[test]
+    fn delayed_command_extends_settle() {
+        let mut c = ctl();
+        let settle = c.command_delayed(ms(0), PState(5), SimDuration::from_millis(40));
+        assert_eq!(settle, ms(50));
+        c.advance(ms(49));
+        assert_eq!(c.effective(), PState(12));
+        c.advance(ms(50));
+        assert_eq!(c.effective(), PState(5));
+        // Zero extra delay is exactly `command`.
+        let mut d = ctl();
+        assert_eq!(
+            d.command_delayed(ms(0), PState(5), SimDuration::ZERO),
+            ms(10)
+        );
+        // A delayed re-command of the current effective state is not
+        // instant: the late-arriving write still goes through the PLL.
+        let mut e = ctl();
+        let settle = e.command_delayed(ms(0), PState(12), SimDuration::from_millis(40));
+        assert_eq!(settle, ms(50));
+        assert_eq!(e.transitions(), 1);
     }
 
     #[test]

@@ -28,12 +28,13 @@
 //!   thermal model with PROCHOT clamping and critical trip.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod battery;
 pub mod budget;
 pub mod capper;
 pub mod dvfs;
+pub mod error;
 pub mod monitor;
 pub mod pdu;
 pub mod pstate;
@@ -45,6 +46,7 @@ pub use battery::Battery;
 pub use budget::{BudgetLevel, PowerBudget};
 pub use capper::UniformCapper;
 pub use dvfs::DvfsController;
+pub use error::ConfigError;
 pub use monitor::PowerMonitor;
 pub use pdu::{BreakerState, PowerHierarchy};
 pub use pstate::{PState, PStateTable};

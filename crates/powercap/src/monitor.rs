@@ -9,6 +9,7 @@
 //! noise from true emergencies).
 
 use crate::budget::PowerBudget;
+use crate::error::ConfigError;
 use dcmetrics::{OnlineSummary, P2Quantile};
 use simcore::SimTime;
 use std::collections::VecDeque;
@@ -39,6 +40,12 @@ pub struct PowerMonitor {
     /// Consecutive over-budget samples needed to declare an emergency.
     emergency_after: usize,
     consecutive_over: usize,
+    /// Consecutive under-budget samples needed to release an emergency
+    /// latch (1 = no latch, the pre-hysteresis behaviour).
+    release_after: usize,
+    consecutive_under: usize,
+    /// True between an Emergency verdict and its hysteretic release.
+    latched: bool,
     /// Lifetime stats over all samples.
     lifetime: OnlineSummary,
     /// Streaming p90 of observed power (P² estimator — O(1) memory).
@@ -49,19 +56,49 @@ pub struct PowerMonitor {
 impl PowerMonitor {
     /// New monitor for `budget`, keeping `window_len` samples, declaring
     /// an emergency after `emergency_after` consecutive violations.
-    pub fn new(budget: PowerBudget, window_len: usize, emergency_after: usize) -> Self {
-        assert!(window_len >= 1 && emergency_after >= 1);
-        PowerMonitor {
+    pub fn new(
+        budget: PowerBudget,
+        window_len: usize,
+        emergency_after: usize,
+    ) -> Result<Self, ConfigError> {
+        if window_len < 1 {
+            return Err(ConfigError::ZeroCount { what: "window_len" });
+        }
+        if emergency_after < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "emergency_after",
+            });
+        }
+        Ok(PowerMonitor {
             budget,
             window: VecDeque::with_capacity(window_len),
             window_len,
             guard_fraction: 0.05,
             emergency_after,
             consecutive_over: 0,
+            release_after: 1,
+            consecutive_under: 0,
+            latched: false,
             lifetime: OnlineSummary::new(),
             p90: P2Quantile::new(0.9),
             violations: 0,
+        })
+    }
+
+    /// Require `release_after` consecutive under-budget samples before an
+    /// Emergency verdict releases; until then under-budget samples read
+    /// `NearBudget`, never `Nominal`. The default of 1 releases on the
+    /// first under-budget sample (no hysteresis). This is the
+    /// anti-flapping guard for controllers whose own intervention pulls
+    /// the next sample just under the budget.
+    pub fn with_release_after(mut self, release_after: usize) -> Result<Self, ConfigError> {
+        if release_after < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "release_after",
+            });
         }
+        self.release_after = release_after;
+        Ok(self)
     }
 
     /// Replace the budget (e.g. when a scheme reallocates supply).
@@ -86,20 +123,39 @@ impl PowerMonitor {
 
         if self.budget.violated_by(watts) {
             self.consecutive_over += 1;
+            self.consecutive_under = 0;
             self.violations += 1;
             if self.consecutive_over >= self.emergency_after {
+                self.latched = true;
                 PowerCondition::Emergency
             } else {
                 PowerCondition::Transient
             }
         } else {
             self.consecutive_over = 0;
-            if watts >= self.budget.supply_w * (1.0 - self.guard_fraction) {
+            let near = watts >= self.budget.supply_w * (1.0 - self.guard_fraction);
+            if self.latched {
+                self.consecutive_under += 1;
+                if self.consecutive_under >= self.release_after {
+                    self.latched = false;
+                    self.consecutive_under = 0;
+                } else {
+                    // Held by the release latch: report NearBudget so
+                    // controllers keep their caps instead of flapping.
+                    return PowerCondition::NearBudget;
+                }
+            }
+            if near {
                 PowerCondition::NearBudget
             } else {
                 PowerCondition::Nominal
             }
         }
+    }
+
+    /// True while an Emergency verdict awaits its hysteretic release.
+    pub fn is_latched(&self) -> bool {
+        self.latched
     }
 
     /// Moving average over the window (0 when empty).
@@ -151,6 +207,7 @@ impl PowerMonitor {
 mod tests {
     use super::*;
     use crate::budget::BudgetLevel;
+    use proptest::prelude::*;
 
     fn s(x: u64) -> SimTime {
         SimTime::from_secs(x)
@@ -163,6 +220,24 @@ mod tests {
             5,
             3,
         )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        let b = PowerBudget::for_cluster(400.0, BudgetLevel::Medium);
+        assert!(matches!(
+            PowerMonitor::new(b, 0, 1),
+            Err(ConfigError::ZeroCount { what: "window_len" })
+        ));
+        assert!(matches!(
+            PowerMonitor::new(b, 5, 0),
+            Err(ConfigError::ZeroCount { what: "emergency_after" })
+        ));
+        assert!(matches!(
+            PowerMonitor::new(b, 5, 1).unwrap().with_release_after(0),
+            Err(ConfigError::ZeroCount { what: "release_after" })
+        ));
     }
 
     #[test]
@@ -249,5 +324,113 @@ mod tests {
         }
         assert_eq!(m.lifetime().count(), 10);
         assert!((m.lifetime().mean() - 104.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_release_matches_pre_latch_behaviour() {
+        // release_after = 1: the first under-budget sample after an
+        // Emergency reads exactly as it did before the latch existed.
+        let mut m = PowerMonitor::new(
+            PowerBudget::for_cluster(400.0, BudgetLevel::Medium),
+            5,
+            1,
+        )
+        .unwrap();
+        assert_eq!(m.observe(s(0), 350.0), PowerCondition::Emergency);
+        assert_eq!(m.observe(s(1), 200.0), PowerCondition::Nominal);
+        assert!(!m.is_latched());
+    }
+
+    #[test]
+    fn release_hysteresis_holds_near_budget() {
+        let mut m = PowerMonitor::new(
+            PowerBudget::for_cluster(400.0, BudgetLevel::Medium),
+            5,
+            1,
+        )
+        .unwrap()
+        .with_release_after(3)
+        .unwrap();
+        assert_eq!(m.observe(s(0), 350.0), PowerCondition::Emergency);
+        assert!(m.is_latched());
+        // Two under-budget samples: held at NearBudget, even far under.
+        assert_eq!(m.observe(s(1), 200.0), PowerCondition::NearBudget);
+        assert_eq!(m.observe(s(2), 200.0), PowerCondition::NearBudget);
+        // Third releases and classifies normally.
+        assert_eq!(m.observe(s(3), 200.0), PowerCondition::Nominal);
+        assert!(!m.is_latched());
+        // An over-budget sample mid-release restarts the count.
+        m.observe(s(4), 350.0); // Emergency again (emergency_after = 1)
+        assert_eq!(m.observe(s(5), 200.0), PowerCondition::NearBudget);
+        assert_eq!(m.observe(s(6), 350.0), PowerCondition::Emergency);
+        assert_eq!(m.observe(s(7), 200.0), PowerCondition::NearBudget);
+    }
+
+    proptest! {
+        /// Oscillation around the budget can never yield an Emergency
+        /// without `emergency_after` consecutive over-budget samples
+        /// immediately preceding it — the anti-flapping contract.
+        #[test]
+        fn prop_emergency_needs_consecutive_overs(
+            samples in proptest::collection::vec(300.0f64..380.0, 1..80),
+            k in 1usize..5,
+        ) {
+            // Budget: 340 W. Samples straddle it.
+            let mut m = PowerMonitor::new(
+                PowerBudget::for_cluster(400.0, BudgetLevel::Medium),
+                5,
+                k,
+            )
+            .unwrap();
+            let mut over_run = 0usize;
+            for (i, &w) in samples.iter().enumerate() {
+                let c = m.observe(s(i as u64), w);
+                if w > 340.0 + 1e-9 {
+                    over_run += 1;
+                } else {
+                    over_run = 0;
+                }
+                prop_assert_eq!(
+                    c == PowerCondition::Emergency,
+                    over_run >= k,
+                    "sample {} ({} W): verdict {:?}, over_run {}",
+                    i, w, c, over_run
+                );
+            }
+        }
+
+        /// With a release latch of `r`, a `Nominal` verdict never appears
+        /// within `r` samples of an Emergency: the guard band cannot
+        /// produce alternating Emergency/Nominal verdicts.
+        #[test]
+        fn prop_latch_blocks_emergency_nominal_flapping(
+            samples in proptest::collection::vec(300.0f64..380.0, 1..80),
+            r in 2usize..6,
+        ) {
+            let mut m = PowerMonitor::new(
+                PowerBudget::for_cluster(400.0, BudgetLevel::Medium),
+                5,
+                1,
+            )
+            .unwrap()
+            .with_release_after(r)
+            .unwrap();
+            let mut since_emergency = usize::MAX;
+            for (i, &w) in samples.iter().enumerate() {
+                let c = m.observe(s(i as u64), w);
+                if c == PowerCondition::Emergency {
+                    since_emergency = 0;
+                } else {
+                    since_emergency = since_emergency.saturating_add(1);
+                }
+                if c == PowerCondition::Nominal {
+                    prop_assert!(
+                        since_emergency >= r,
+                        "Nominal {} samples after Emergency (release_after {})",
+                        since_emergency, r
+                    );
+                }
+            }
+        }
     }
 }

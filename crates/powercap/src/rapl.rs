@@ -12,7 +12,7 @@
 use crate::dvfs::DvfsController;
 use crate::pstate::PState;
 use crate::server_power::ServerPowerModel;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 
 /// A per-node power-limit actuator.
 #[derive(Debug, Clone)]
@@ -53,13 +53,33 @@ impl Rapl {
         intensity: f64,
         gamma: f64,
     ) -> PState {
+        self.set_limit_delayed(now, dvfs, limit_w, intensity, gamma, SimDuration::ZERO)
+    }
+
+    /// [`Rapl::set_limit`] with an extra actuation delay (fault
+    /// injection: the MSR write reaches the governor late).
+    pub fn set_limit_delayed(
+        &mut self,
+        now: SimTime,
+        dvfs: &mut DvfsController,
+        limit_w: Option<f64>,
+        intensity: f64,
+        gamma: f64,
+        extra: SimDuration,
+    ) -> PState {
         self.limit_w = limit_w;
-        let target = match limit_w {
+        let target = self.resolve(limit_w, intensity, gamma);
+        dvfs.command_delayed(now, target, extra);
+        target
+    }
+
+    /// The P-state a given limit resolves to for the workload character,
+    /// without commanding anything — used for actuator read-back checks.
+    pub fn resolve(&self, limit_w: Option<f64>, intensity: f64, gamma: f64) -> PState {
+        match limit_w {
             None => self.model.table.max_state(),
             Some(w) => self.model.state_for_cap(w, intensity, gamma),
-        };
-        dvfs.command(now, target);
-        target
+        }
     }
 
     /// Worst-case power at the currently-enforced target state for the
@@ -118,6 +138,24 @@ mod tests {
         assert_eq!(p, PState(12));
         dvfs.advance(SimTime::from_secs(2));
         assert_eq!(dvfs.effective(), PState(12));
+    }
+
+    #[test]
+    fn delayed_limit_defers_enforcement() {
+        let (mut rapl, mut dvfs) = rig();
+        let p = rapl.set_limit_delayed(
+            SimTime::ZERO,
+            &mut dvfs,
+            Some(75.0),
+            1.0,
+            1.0,
+            SimDuration::from_millis(90),
+        );
+        assert_eq!(rapl.resolve(Some(75.0), 1.0, 1.0), p);
+        dvfs.advance(SimTime::from_millis(99));
+        assert_eq!(dvfs.effective(), PState(12));
+        dvfs.advance(SimTime::from_millis(100));
+        assert_eq!(dvfs.effective(), p);
     }
 
     #[test]

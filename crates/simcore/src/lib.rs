@@ -13,6 +13,10 @@
 //!   label-derived sub-streams ([`rng::RngFactory`]), so each simulation
 //!   component draws from its own independent, reproducible stream and
 //!   adding a component never perturbs the randomness seen by others.
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`]):
+//!   scheduled events plus seeded stochastic sensor / actuator / node /
+//!   battery faults drawn from a dedicated sub-stream, so chaos
+//!   experiments keep the same-seed ⇒ same-report contract.
 //! * [`Engine`] — a run loop that owns the clock and the queue and
 //!   dispatches events to a user [`SimModel`], with stop conditions on
 //!   simulated time and event count.
@@ -48,10 +52,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod fxhash;
 pub mod rng;
 pub mod time;
@@ -59,6 +64,7 @@ pub mod trace;
 
 pub use engine::{Engine, RunOutcome, Scheduler, SimModel};
 pub use event::{EventQueue, Scheduled};
+pub use faults::{ActuationFault, CrashEvent, FaultConfig, FaultCounts, FaultError, FaultPlan};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

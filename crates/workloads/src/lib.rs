@@ -24,7 +24,7 @@
 //!   populations with automatic id-space / address-pool bookkeeping.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod alibaba;
 pub mod attacker;

@@ -1,0 +1,140 @@
+//! Chaos drill: run the headline DOPE scenario while the control plane
+//! itself degrades — sensors drop samples, a telemetry blackout blinds
+//! the monitor, actuator writes get lost, and a node crashes and
+//! reboots mid-attack.
+//!
+//! The point: power management is a *control loop*, and a loop that
+//! only works with perfect feedback is a liability in exactly the
+//! situations that matter. This drill shows the hardened plane holding
+//! the budget (watchdog safe cap, last-good-value telemetry, actuator
+//! read-back) while the fault layer does its worst, and prints the
+//! fault ledger the simulator kept.
+//!
+//! ```text
+//! cargo run --release --example chaos_drill
+//! ```
+
+use antidope_repro::prelude::*;
+use dcmetrics::export::Table;
+use rayon::prelude::*;
+
+fn drill_faults() -> FaultConfig {
+    FaultConfig {
+        sensor_dropout_p: 0.10,
+        sensor_noise_w: 2.0,
+        blackouts: vec![(SimTime::from_secs(120), SimTime::from_secs(180))],
+        actuator_loss_p: 0.10,
+        actuator_delay_p: 0.05,
+        crashes: vec![CrashEvent {
+            node: 1,
+            at: SimTime::from_secs(60),
+        }],
+        reboot_after: SimDuration::from_secs(30),
+        ..FaultConfig::default()
+    }
+}
+
+fn main() {
+    let window_s = 300;
+    let attack_rate = 390.0;
+    let seed = 2019;
+
+    println!(
+        "Chaos drill: Anti-DOPE vs Capping at Low-PB, {attack_rate:.0} req/s flood,\n\
+         10% sensor dropout + 60 s telemetry blackout + 10% actuator loss\n\
+         + node 1 crash at t=60 s (reboots after 30 s), {window_s} s window\n"
+    );
+
+    let schemes = [SchemeKind::Capping, SchemeKind::AntiDope];
+    let reports: Vec<(SchemeKind, SimReport)> = schemes
+        .par_iter()
+        .map(|&scheme| {
+            let factory = |exp: &ExperimentConfig| {
+                let horizon = SimTime::ZERO + exp.duration;
+                let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+                let sources: Vec<Box<dyn TrafficSource>> = vec![
+                    Box::new(NormalUsers::new(
+                        trace,
+                        ServiceMix::alios_normal(),
+                        80.0,
+                        1_000,
+                        60,
+                        0,
+                        horizon,
+                        exp.seed,
+                    )),
+                    Box::new(FloodSource::against_service(
+                        AttackTool::HttpLoad { rate: attack_rate },
+                        ServiceKind::CollaFilt,
+                        50_000,
+                        40,
+                        1 << 40,
+                        SimTime::from_secs(5),
+                        horizon,
+                        exp.seed ^ 0x5EED,
+                    )),
+                ];
+                sources
+            };
+            let mut cluster = ClusterConfig::paper_rack(BudgetLevel::Low);
+            cluster.faults = Some(drill_faults());
+            let mut exp = ExperimentConfig::paper_window(cluster, scheme, seed);
+            exp.duration = SimDuration::from_secs(window_s);
+            (scheme, antidope::run_experiment(&exp, &factory))
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Service under chaos",
+        &["scheme", "p90_ms", "availability", "peak_W", "violations"],
+    );
+    for (k, r) in &reports {
+        t.push_row(vec![
+            k.name().to_string(),
+            Table::fmt_f64(r.normal_latency.p90_ms),
+            format!("{:.1}%", r.availability() * 100.0),
+            Table::fmt_f64(r.power.peak_w),
+            r.power.violations.to_string(),
+        ]);
+    }
+    println!("{}", t.to_text());
+
+    let mut f = Table::new(
+        "Fault ledger",
+        &[
+            "scheme",
+            "dropouts",
+            "blackout_samples",
+            "act_lost",
+            "act_retries",
+            "act_giveups",
+            "crashes",
+            "reboots",
+            "lost_inflight",
+            "degraded_s",
+            "mttr_s",
+        ],
+    );
+    for (k, r) in &reports {
+        let fr: FaultReport = r.faults.clone().unwrap_or_default();
+        f.push_row(vec![
+            k.name().to_string(),
+            fr.sensor_dropouts.to_string(),
+            fr.blackout_samples.to_string(),
+            fr.actuator_lost.to_string(),
+            fr.actuator_retries.to_string(),
+            fr.actuator_giveups.to_string(),
+            fr.crashes.to_string(),
+            fr.reboots.to_string(),
+            fr.lost_to_crash.to_string(),
+            Table::fmt_f64(fr.time_degraded_s),
+            Table::fmt_f64(fr.mttr_s),
+        ]);
+    }
+    println!("{}", f.to_text());
+    println!(
+        "The watchdog's uniform safe cap holds the budget through the blackout; the\n\
+         read-back loop re-issues lost DVFS writes; the NLB routes around the dead\n\
+         node until its reboot. Anti-DOPE's tail-latency edge survives the chaos."
+    );
+}

@@ -21,10 +21,11 @@ pub use workloads;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use antidope::{
-        run_experiment, run_matrix, ClusterConfig, ClusterSim, ExperimentConfig, SchemeKind,
-        SimReport,
+        run_experiment, run_matrix, ClusterConfig, ClusterSim, ExperimentConfig, FaultReport,
+        SchemeKind, SimReport,
     };
     pub use powercap::BudgetLevel;
+    pub use simcore::faults::{CrashEvent, FaultConfig};
     pub use simcore::{SimDuration, SimTime};
     pub use workloads::{
         alibaba::{AlibabaTraceConfig, UtilizationTrace},

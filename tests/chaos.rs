@@ -1,0 +1,213 @@
+//! Chaos drills: the fault-injection layer end to end.
+//!
+//! Three contracts, over full experiments:
+//!
+//! 1. **Graceful degradation** — Anti-DOPE under heavy sensor dropout
+//!    still beats plain capping on tail latency, and a full telemetry
+//!    blackout never lets cluster power past the breaker rating (the
+//!    watchdog's uniform safe cap binds while the controller is blind).
+//! 2. **Determinism under chaos** — the same `(seed, FaultConfig)` pair
+//!    reproduces the report bit-for-bit, including every fault counter.
+//! 3. **Conservation** — no request is double-counted or silently lost,
+//!    whatever the fault layer kills mid-flight.
+
+mod common;
+
+use antidope_repro::prelude::*;
+use common::{run_cell, run_chaos_cell, scenario};
+use proptest::prelude::*;
+
+/// The acceptance gate: at Low-PB under a 390 req/s flood with 10% of
+/// power samples lost, Anti-DOPE's hardened control plane must still
+/// deliver the paper's headline ordering against capping.
+#[test]
+fn antidope_beats_capping_under_sensor_dropout() {
+    let faults = FaultConfig {
+        sensor_dropout_p: 0.10,
+        ..FaultConfig::default()
+    };
+    let anti = run_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Low,
+        390.0,
+        120,
+        2019,
+        faults.clone(),
+    );
+    let capping = run_chaos_cell(
+        SchemeKind::Capping,
+        BudgetLevel::Low,
+        390.0,
+        120,
+        2019,
+        faults,
+    );
+    assert!(
+        capping.normal_latency.p90_ms > anti.normal_latency.p90_ms,
+        "capping p90 {} must exceed Anti-DOPE p90 {} under 10% dropout",
+        capping.normal_latency.p90_ms,
+        anti.normal_latency.p90_ms
+    );
+    assert!(anti.availability() > 0.8, "{}", anti.oneline());
+}
+
+/// During a total telemetry blackout the watchdog falls back to the
+/// uniform safe cap: cluster power stays below the breaker rating (no
+/// outage) even though the controller is flying blind under attack.
+#[test]
+fn blackout_never_breaches_the_breaker() {
+    let mut cluster = ClusterConfig::paper_rack(BudgetLevel::Medium);
+    cluster.breaker = true;
+    cluster.breaker_rating_factor = 1.05;
+    cluster.breaker_trip_delay = SimDuration::from_secs(30);
+    cluster.faults = Some(FaultConfig {
+        blackouts: vec![(SimTime::from_secs(20), SimTime::from_secs(80))],
+        ..FaultConfig::default()
+    });
+    let rating = 340.0 * 1.05; // Medium-PB supply × rating factor
+    let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::AntiDope, 2019);
+    exp.duration = SimDuration::from_secs(120);
+    let report = run_experiment(&exp, &scenario(600.0));
+
+    assert_eq!(
+        report.power.outage_at_s, None,
+        "watchdog must keep the breaker closed: {}",
+        report.oneline()
+    );
+    let faults = report.faults.as_ref().expect("fault report");
+    assert!(faults.degraded_slots > 0, "{faults:?}");
+    // Inside the blackout (past a short grace for the safe cap's DVFS
+    // transition to settle) every power sample respects the rating.
+    let breaches: Vec<(f64, f64)> = report
+        .power
+        .series
+        .iter()
+        .filter(|&&(t, w)| (25.0..80.0).contains(&t) && w > rating)
+        .copied()
+        .collect();
+    assert!(breaches.is_empty(), "power over rating during blackout: {breaches:?}");
+}
+
+/// Same seed + same fault plan ⇒ bit-identical report, with every fault
+/// class active at once.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let faults = FaultConfig {
+        sensor_dropout_p: 0.10,
+        sensor_noise_w: 2.0,
+        sensor_stuck_p: 0.01,
+        sensor_stale_p: 0.05,
+        blackouts: vec![(SimTime::from_secs(20), SimTime::from_secs(30))],
+        actuator_loss_p: 0.10,
+        actuator_delay_p: 0.10,
+        actuator_stuck_p: 0.02,
+        crashes: vec![CrashEvent {
+            node: 2,
+            at: SimTime::from_secs(15),
+        }],
+        crash_p: 0.001,
+        reboot_after: SimDuration::from_secs(10),
+        battery_fade: 0.2,
+        charger_fails_at: Some(SimTime::from_secs(40)),
+        ..FaultConfig::default()
+    };
+    let a = run_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Medium,
+        400.0,
+        60,
+        99,
+        faults.clone(),
+    );
+    let b = run_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Medium,
+        400.0,
+        60,
+        99,
+        faults,
+    );
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "chaos run not deterministic"
+    );
+    // The plan actually fired across classes.
+    let f = a.faults.expect("fault report");
+    assert!(f.sensor_dropouts > 0, "{f:?}");
+    assert!(f.crashes >= 1, "{f:?}");
+    assert!(f.reboots >= 1, "{f:?}");
+}
+
+/// Enabling a no-op fault plan must not perturb the simulation: the
+/// report matches the fault-free run byte-for-byte once the (all-zero)
+/// fault block is removed.
+#[test]
+fn noop_plan_is_invisible() {
+    let base = run_cell(SchemeKind::AntiDope, BudgetLevel::Medium, 400.0, 45, 7);
+    let mut chaotic = run_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Medium,
+        400.0,
+        45,
+        7,
+        FaultConfig::default(),
+    );
+    let f = chaotic.faults.take().expect("fault report");
+    assert_eq!(f, FaultReport::default(), "no-op plan injected something: {f:?}");
+    assert_eq!(
+        serde_json::to_string(&base).unwrap(),
+        serde_json::to_string(&chaotic).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, ..ProptestConfig::default()
+    })]
+
+    /// Request conservation under arbitrary fault mixes: every offered
+    /// request is accounted for exactly once across the two SLA trackers,
+    /// up to the bounded population that can still be in flight (or
+    /// pending arrival) when the horizon cuts the run.
+    #[test]
+    fn requests_conserved_under_chaos(
+        dropout in 0.0f64..0.3,
+        loss in 0.0f64..0.3,
+        crash_node in 0usize..4,
+        crash_at in 5u64..25,
+        reboot_s in 0u64..20,
+        seed in 1u64..1_000,
+    ) {
+        let faults = FaultConfig {
+            sensor_dropout_p: dropout,
+            actuator_loss_p: loss,
+            crashes: vec![CrashEvent {
+                node: crash_node,
+                at: SimTime::from_secs(crash_at),
+            }],
+            reboot_after: SimDuration::from_secs(reboot_s),
+            ..FaultConfig::default()
+        };
+        let r = run_chaos_cell(
+            SchemeKind::AntiDope,
+            BudgetLevel::Low,
+            390.0,
+            30,
+            seed,
+            faults,
+        );
+        let accounted = r.normal_sla.total() + r.attack_sla.total();
+        prop_assert!(accounted <= r.traffic.offered);
+        // Unaccounted requests are exactly those still in flight at the
+        // horizon and not past their client timeout: bounded by queue
+        // capacity (4 nodes × 32) plus one pending arrival per source.
+        let slack = 4 * 32 + 2;
+        prop_assert!(
+            r.traffic.offered - accounted <= slack,
+            "offered {} vs accounted {}",
+            r.traffic.offered,
+            accounted
+        );
+    }
+}

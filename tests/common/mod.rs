@@ -52,3 +52,20 @@ pub fn run_cell(
     exp.duration = SimDuration::from_secs(duration_s);
     run_experiment(&exp, &scenario(attack_rate))
 }
+
+/// Run one (scheme, budget) cell of the standard scenario with a fault
+/// plan injected.
+pub fn run_chaos_cell(
+    scheme: SchemeKind,
+    budget: BudgetLevel,
+    attack_rate: f64,
+    duration_s: u64,
+    seed: u64,
+    faults: FaultConfig,
+) -> SimReport {
+    let mut cluster = ClusterConfig::paper_rack(budget);
+    cluster.faults = Some(faults);
+    let mut exp = ExperimentConfig::paper_window(cluster, scheme, seed);
+    exp.duration = SimDuration::from_secs(duration_s);
+    run_experiment(&exp, &scenario(attack_rate))
+}

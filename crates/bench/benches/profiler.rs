@@ -1,0 +1,163 @@
+//! Hot-path cost of adaptive (profiler-driven) classification.
+//!
+//! The online profiler must not tax the forwarding fast path: routing a
+//! request under `AdaptiveSplit` is one `FxHashMap` lookup, just like the
+//! static offline `UrlSplit`. This bench pins that claim — results feed
+//! `BENCH_profiler.json` at the repo root. All three variants route the
+//! same request stream; none allocates per request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netsim::nlb::{ForwardingPolicy, Nlb};
+use netsim::request::{Request, RequestBuilder, SourceId, UrlId};
+use netsim::suspect::{FlowClass, SuspectList};
+use profiler::{AdaptiveSuspectList, PowerProfiler, ProfilerConfig};
+use simcore::{FxHashMap, SimTime};
+
+const URLS: u16 = 32;
+const STREAM: usize = 100_000;
+
+/// A request stream cycling over `URLS` distinct URLs.
+fn request_stream() -> Vec<Request> {
+    let mut b = RequestBuilder::new();
+    (0..STREAM)
+        .map(|i| {
+            b.build(
+                UrlId((i as u16) % URLS),
+                SourceId(0),
+                SimTime::ZERO,
+                1.0,
+                0.5,
+                0.5,
+                0.5,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Train a real profiler until it has classified all `URLS` URLs, and
+/// hand back its published list — the artifact the hot path consults.
+fn trained_list() -> AdaptiveSuspectList {
+    let cfg = ProfilerConfig::default();
+    let mut engine = PowerProfiler::new(cfg.clone());
+    for _tick in 0..8 {
+        for u in 0..URLS {
+            let intensity = if u % 4 == 0 { 0.95 } else { 0.30 };
+            let utilization = 0.6f64;
+            let power =
+                cfg.idle_w + cfg.dynamic_scale_w * utilization.powf(cfg.util_exponent) * intensity;
+            engine.observe_node(Some(power), utilization, true, &[(UrlId(u), 1)]);
+        }
+        engine.end_tick();
+    }
+    assert_eq!(engine.list().classified(), URLS as usize);
+    engine.list().clone()
+}
+
+fn static_nlb() -> Nlb {
+    let mut list = SuspectList::new(0.7, FlowClass::Innocent).expect("valid threshold");
+    for u in 0..URLS {
+        let intensity = if u % 4 == 0 { 0.95 } else { 0.30 };
+        list.set_profile(UrlId(u), intensity).expect("valid intensity");
+    }
+    Nlb::new(
+        4,
+        ForwardingPolicy::UrlSplit {
+            list,
+            suspect_pool: vec![3],
+            innocent_pool: vec![0, 1, 2],
+        },
+    )
+    .expect("valid pools")
+}
+
+fn adaptive_nlb() -> Nlb {
+    // Same classification as `static_nlb`, but expressed as the class map
+    // an online profiler would publish.
+    let mut classes = FxHashMap::default();
+    for u in 0..URLS {
+        let class = if u % 4 == 0 {
+            FlowClass::Suspect
+        } else {
+            FlowClass::Innocent
+        };
+        classes.insert(UrlId(u), class);
+    }
+    Nlb::new(
+        4,
+        ForwardingPolicy::AdaptiveSplit {
+            classes,
+            default_class: FlowClass::Innocent,
+            suspect_pool: vec![3],
+            innocent_pool: vec![0, 1, 2],
+        },
+    )
+    .expect("valid pools")
+}
+
+fn bench_classify_hot_path(c: &mut Criterion) {
+    let stream = request_stream();
+    let mut g = c.benchmark_group("classify_hot_path");
+    g.throughput(Throughput::Elements(STREAM as u64));
+
+    // Floor: a bare FxHashMap lookup per request, no routing at all.
+    let mut raw = FxHashMap::default();
+    for u in 0..URLS {
+        raw.insert(UrlId(u), u % 4 == 0);
+    }
+    g.bench_function("raw_fxhashmap_lookup_100k", |b| {
+        b.iter(|| {
+            let mut suspects = 0u64;
+            for r in &stream {
+                if raw.get(&r.url).copied().unwrap_or(false) {
+                    suspects += 1;
+                }
+            }
+            black_box(suspects)
+        })
+    });
+
+    // The offline baseline: UrlSplit over a static SuspectList.
+    g.bench_function("static_url_split_route_100k", |b| {
+        let mut nlb = static_nlb();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for r in &stream {
+                acc = acc.wrapping_add(nlb.route(r));
+            }
+            black_box(acc)
+        })
+    });
+
+    // The profiler-driven path: AdaptiveSplit over a published class map.
+    g.bench_function("adaptive_split_route_100k", |b| {
+        let mut nlb = adaptive_nlb();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for r in &stream {
+                acc = acc.wrapping_add(nlb.route(r));
+            }
+            black_box(acc)
+        })
+    });
+
+    // Direct classification through the profiler's own list type (what
+    // the learning loop consults off the hot path).
+    g.bench_function("adaptive_list_classify_100k", |b| {
+        let list = trained_list();
+        b.iter(|| {
+            let mut suspects = 0u64;
+            for r in &stream {
+                if list.classify(r.url) == FlowClass::Suspect {
+                    suspects += 1;
+                }
+            }
+            black_box(suspects)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_classify_hot_path);
+criterion_main!(benches);

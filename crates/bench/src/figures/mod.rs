@@ -30,7 +30,7 @@ pub const ALL_IDS: [&str; 16] = [
 // "fig17", or "fig19" (all dispatch into fig16_17_19).
 
 /// Ablation studies beyond the paper (DESIGN.md §8).
-pub const ABLATION_IDS: [&str; 11] = [
+pub const ABLATION_IDS: [&str; 12] = [
     "abl-framework",
     "abl-threshold",
     "abl-pool",
@@ -42,6 +42,7 @@ pub const ABLATION_IDS: [&str; 11] = [
     "abl-thermal",
     "abl-faults",
     "abl-seeds",
+    "abl-online-profiler",
 ];
 
 /// Dispatch one experiment id. Returns `None` for an unknown id.
@@ -73,6 +74,7 @@ pub fn run(id: &str, mode: RunMode) -> Option<Vec<Table>> {
         "abl-thermal" => ablations::thermal(mode),
         "abl-faults" => ablations::faults(mode),
         "abl-seeds" => ablations::seeds(mode),
+        "abl-online-profiler" => ablations::online_profiler(mode),
         _ => return None,
     })
 }

@@ -4,7 +4,7 @@ use antidope::{run_experiment, ClusterConfig, ExperimentConfig, SchemeKind, SimR
 use powercap::BudgetLevel;
 use simcore::{SimDuration, SimTime};
 use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
-use workloads::attacker::{AttackTool, FloodSource};
+use workloads::attacker::{AttackTool, FloodSource, RotatingFloodSource};
 use workloads::floods::FloodKind;
 use workloads::normal::NormalUsers;
 use workloads::service::{ServiceKind, ServiceMix};
@@ -53,6 +53,34 @@ pub fn service_attack(
         horizon,
         seed ^ 0x5EED,
     ))
+}
+
+/// First URL of the rotating attacker's range — deliberately outside
+/// every [`ServiceKind`] URL, so the offline profile has never seen it.
+pub const ROTATION_URL_BASE: u16 = 800;
+/// Number of URLs the rotating attacker hops over.
+pub const ROTATION_URL_SPACE: u16 = 6;
+/// Seconds between URL rotations.
+pub const ROTATION_PERIOD_S: u64 = 20;
+
+/// A URL-rotating adaptive attack: heavy Colla-Filt work behind URLs the
+/// offline profile has never seen, hopping every [`ROTATION_PERIOD_S`].
+/// Returned concretely so callers can extract
+/// [`RotatingFloodSource::oracle_profiles`] for the oracle arm.
+pub fn rotating_attack(rate: f64, seed: u64, horizon: SimTime) -> RotatingFloodSource {
+    RotatingFloodSource::against_service(
+        rate,
+        ServiceKind::CollaFilt,
+        ROTATION_URL_BASE,
+        ROTATION_URL_SPACE,
+        SimDuration::from_secs(ROTATION_PERIOD_S),
+        50_000,
+        BOTS,
+        1 << 40,
+        SimTime::from_secs(5),
+        horizon,
+        seed ^ 0x707A7E,
+    )
 }
 
 /// A layered flood (Fig 3 taxonomy) at `rate`, over `bots` agents.

@@ -1,6 +1,7 @@
 //! Cluster and experiment configuration.
 
 use powercap::BudgetLevel;
+use profiler::{ProfilerConfig, ProfilerConfigError};
 use serde::{Deserialize, Serialize};
 use simcore::faults::{FaultConfig, FaultError};
 use simcore::SimDuration;
@@ -38,6 +39,8 @@ pub enum ConfigError {
     },
     /// The fault-injection plan was invalid.
     Fault(FaultError),
+    /// The online-profiler configuration was invalid.
+    Profiler(ProfilerConfigError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -56,6 +59,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "suspect threshold {value} is outside [0, 1]")
             }
             ConfigError::Fault(e) => write!(f, "fault plan: {e}"),
+            ConfigError::Profiler(e) => write!(f, "profiler: {e}"),
         }
     }
 }
@@ -65,6 +69,12 @@ impl std::error::Error for ConfigError {}
 impl From<FaultError> for ConfigError {
     fn from(e: FaultError) -> Self {
         ConfigError::Fault(e)
+    }
+}
+
+impl From<ProfilerConfigError> for ConfigError {
+    fn from(e: ProfilerConfigError) -> Self {
+        ConfigError::Profiler(e)
     }
 }
 
@@ -154,6 +164,12 @@ pub struct ClusterConfig {
     /// without it.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultConfig>,
+    /// Online power-attribution profiler. `None` (the default) keeps
+    /// Anti-DOPE on the offline-profiled suspect list; `Some` switches
+    /// its NLB policy to adaptive forwarding driven by runtime
+    /// attribution (see the `profiler` crate).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profiler: Option<ProfilerConfig>,
 }
 
 impl ClusterConfig {
@@ -178,6 +194,7 @@ impl ClusterConfig {
             breaker_trip_delay: SimDuration::from_secs(30),
             thermal: false,
             faults: None,
+            profiler: None,
         }
     }
 
@@ -238,6 +255,9 @@ impl ClusterConfig {
         }
         if let Some(f) = &self.faults {
             f.validate(self.servers)?;
+        }
+        if let Some(p) = &self.profiler {
+            p.validate()?;
         }
         Ok(())
     }
@@ -310,9 +330,10 @@ mod tests {
     #[test]
     fn validate_rejects_bad_fault_plan() {
         let mut c = ClusterConfig::paper_rack(BudgetLevel::Normal);
-        let mut f = FaultConfig::default();
-        f.sensor_dropout_p = 1.5;
-        c.faults = Some(f);
+        c.faults = Some(FaultConfig {
+            sensor_dropout_p: 1.5,
+            ..FaultConfig::default()
+        });
         assert!(matches!(
             c.validate().unwrap_err(),
             ConfigError::Fault(FaultError::Probability { .. })
@@ -326,6 +347,21 @@ mod tests {
         c.faults = None;
         let json = serde_json::to_string(&c).unwrap();
         assert!(!json.contains("faults"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_profiler_config() {
+        let mut c = ClusterConfig::paper_rack(BudgetLevel::Normal);
+        c.profiler = Some(ProfilerConfig {
+            threshold: 2.0,
+            ..ProfilerConfig::default()
+        });
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::Profiler(ProfilerConfigError::Threshold { .. })
+        ));
+        c.profiler = Some(ProfilerConfig::default());
+        c.validate().unwrap();
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl PowerScheme for PdfOnlyScheme {
             config.suspect_pool_size,
             crate::pdf::DEFAULT_SUSPECT_THRESHOLD,
         )
+        .expect("default threshold is valid")
     }
 
     fn control(&mut self, _input: &ControlInput, _actions: &mut Vec<Action>) {}

@@ -15,6 +15,7 @@ use crate::config::ClusterConfig;
 use crate::dpm::{self, NodeState};
 use crate::pdf;
 use netsim::nlb::ForwardingPolicy;
+use netsim::request::UrlId;
 use powercap::pstate::PState;
 use powercap::server_power::ServerPowerModel;
 
@@ -23,6 +24,12 @@ pub struct AntiDopeScheme {
     model: ServerPowerModel,
     /// Suspicion threshold used when building the forwarding policy.
     threshold: f64,
+    /// Use the adaptive (online-profiled) forwarding policy instead of
+    /// the offline suspect list.
+    adaptive: bool,
+    /// Extra oracle profiles folded into the offline list (ablations
+    /// that grant the offline profiler impossible knowledge).
+    oracle_profiles: Vec<(UrlId, f64)>,
     /// Hysteresis counter for recovery.
     calm_slots: u32,
     /// Whether we are currently enforcing a throttling plan.
@@ -32,8 +39,28 @@ pub struct AntiDopeScheme {
 impl AntiDopeScheme {
     /// Build for a cluster (pool sizing is read from the config at
     /// forwarding-policy time; control needs only the power model).
+    /// When the config enables the online profiler, the forwarding
+    /// policy comes up adaptive (learned at runtime) instead of backed
+    /// by the offline suspect list.
     pub fn new(config: &ClusterConfig) -> Self {
         Self::with_threshold(config, pdf::DEFAULT_SUSPECT_THRESHOLD)
+    }
+
+    /// Build with extra oracle profiles folded into the offline suspect
+    /// list — the "oracle" ablation arm, which knows URL intensities the
+    /// offline bench could never have measured (e.g. an attacker's
+    /// rotation range). Panics on invalid inputs.
+    pub fn with_oracle_profiles(config: &ClusterConfig, extra: Vec<(UrlId, f64)>) -> Self {
+        let mut s = Self::with_threshold(config, pdf::DEFAULT_SUSPECT_THRESHOLD);
+        for &(_, intensity) in &extra {
+            assert!(
+                (0.0..=1.0).contains(&intensity),
+                "oracle intensity {intensity} outside [0, 1]"
+            );
+        }
+        s.adaptive = false; // the oracle arm uses the static list
+        s.oracle_profiles = extra;
+        s
     }
 
     /// Build with a custom suspicion threshold (ablation studies).
@@ -56,6 +83,8 @@ impl AntiDopeScheme {
         Ok(AntiDopeScheme {
             model: ServerPowerModel::paper_default(),
             threshold,
+            adaptive: config.profiler.is_some(),
+            oracle_profiles: Vec::new(),
             calm_slots: 0,
             throttling: false,
         })
@@ -83,7 +112,16 @@ impl PowerScheme for AntiDopeScheme {
     }
 
     fn forwarding_policy(&self, config: &ClusterConfig) -> ForwardingPolicy {
-        pdf::pdf_policy(config.servers, config.suspect_pool_size, self.threshold)
+        if self.adaptive {
+            return pdf::adaptive_pdf_policy(config.servers, config.suspect_pool_size);
+        }
+        pdf::pdf_policy_with(
+            config.servers,
+            config.suspect_pool_size,
+            self.threshold,
+            &self.oracle_profiles,
+        )
+        .expect("threshold and oracle profiles validated at construction")
     }
 
     fn control(&mut self, input: &ControlInput, actions: &mut Vec<Action>) {
@@ -194,6 +232,27 @@ mod tests {
             s.forwarding_policy(&cfg),
             ForwardingPolicy::UrlSplit { .. }
         ));
+    }
+
+    #[test]
+    fn profiler_config_switches_to_adaptive_forwarding() {
+        let mut cfg = ClusterConfig::paper_rack(BudgetLevel::Medium);
+        cfg.profiler = Some(profiler::ProfilerConfig::default());
+        let s = AntiDopeScheme::new(&cfg);
+        assert!(matches!(
+            s.forwarding_policy(&cfg),
+            ForwardingPolicy::AdaptiveSplit { .. }
+        ));
+    }
+
+    #[test]
+    fn oracle_profiles_extend_the_offline_list() {
+        let cfg = ClusterConfig::paper_rack(BudgetLevel::Medium);
+        let s = AntiDopeScheme::with_oracle_profiles(&cfg, vec![(UrlId(700), 0.97)]);
+        let ForwardingPolicy::UrlSplit { list, .. } = s.forwarding_policy(&cfg) else {
+            panic!("expected UrlSplit");
+        };
+        assert!(list.is_suspect(UrlId(700)));
     }
 
     #[test]

@@ -143,8 +143,7 @@ impl LatencyHistogram {
             }
             val
         };
-        let lo = self.summary.min().unwrap();
-        let hi = self.summary.max().unwrap();
+        let (lo, hi) = self.summary.min().zip(self.summary.max())?;
         Some(raw.clamp(lo, hi))
     }
 

@@ -8,10 +8,20 @@
 use std::fmt;
 
 /// Why a netsim component rejected its configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConfigError {
     /// The NLB needs at least one backend.
     NoBackends,
+    /// A suspicion threshold outside `[0, 1]`.
+    Threshold {
+        /// Offending value.
+        value: f64,
+    },
+    /// A profiled power intensity outside `[0, 1]`.
+    Intensity {
+        /// Offending value.
+        value: f64,
+    },
     /// A UrlSplit forwarding pool was empty.
     EmptyPool {
         /// Which pool: `"suspect"` or `"innocent"`.
@@ -29,12 +39,27 @@ pub enum ConfigError {
         /// A backend present in both pools.
         index: usize,
     },
+    /// A component constructor parameter out of range.
+    Parameter {
+        /// Component name, e.g. `"TokenBucket"`.
+        component: &'static str,
+        /// Field name, e.g. `"rate"`.
+        field: &'static str,
+        /// Offending value (integer fields are reported as floats).
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::NoBackends => write!(f, "NLB needs at least one backend"),
+            ConfigError::Threshold { value } => {
+                write!(f, "suspicion threshold {value} outside [0, 1]")
+            }
+            ConfigError::Intensity { value } => {
+                write!(f, "profiled intensity {value} outside [0, 1]")
+            }
             ConfigError::EmptyPool { pool } => {
                 write!(f, "{pool} pool must be non-empty")
             }
@@ -46,6 +71,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OverlappingPools { index } => {
                 write!(f, "pools must be disjoint; backend {index} is in both")
+            }
+            ConfigError::Parameter {
+                component,
+                field,
+                value,
+            } => {
+                write!(f, "{component}: {field}={value} out of range")
             }
         }
     }
@@ -69,5 +101,16 @@ mod tests {
         assert!(format!("{e}").contains('5'));
         let e = ConfigError::OverlappingPools { index: 1 };
         assert!(format!("{e}").contains("disjoint"));
+        let e = ConfigError::Threshold { value: 1.5 };
+        assert!(format!("{e}").contains("1.5"));
+        let e = ConfigError::Intensity { value: -0.2 };
+        assert!(format!("{e}").contains("-0.2"));
+        let e = ConfigError::Parameter {
+            component: "TokenBucket",
+            field: "rate",
+            value: 0.0,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("TokenBucket") && msg.contains("rate"));
     }
 }

@@ -15,6 +15,7 @@
 //! Sources below the threshold are **never** blocked — that blindness is
 //! the DOPE operating region of Fig 11.
 
+use crate::error::ConfigError;
 use crate::request::SourceId;
 use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -75,17 +76,37 @@ pub struct Firewall {
 
 impl Firewall {
     /// New firewall; the first poll happens `poll_interval` after `start`.
+    /// Panics on an out-of-range config; use [`Firewall::try_new`] to
+    /// handle it as an error.
     pub fn new(start: SimTime, config: FirewallConfig) -> Self {
-        assert!(config.threshold_rps > 0.0);
-        assert!(!config.poll_interval.is_zero());
-        Firewall {
+        Self::try_new(start, config).expect("invalid Firewall config")
+    }
+
+    /// Fallible constructor: rejects a non-positive rate threshold or a
+    /// zero polling interval with a typed [`ConfigError`].
+    pub fn try_new(start: SimTime, config: FirewallConfig) -> Result<Self, ConfigError> {
+        if config.threshold_rps <= 0.0 || !config.threshold_rps.is_finite() {
+            return Err(ConfigError::Parameter {
+                component: "Firewall",
+                field: "threshold_rps",
+                value: config.threshold_rps,
+            });
+        }
+        if config.poll_interval.is_zero() {
+            return Err(ConfigError::Parameter {
+                component: "Firewall",
+                field: "poll_interval",
+                value: 0.0,
+            });
+        }
+        Ok(Firewall {
             config,
             sources: HashMap::new(),
             last_poll: start,
             blocked_requests: 0,
             passed_requests: 0,
             bans_issued: 0,
-        }
+        })
     }
 
     /// The active configuration.
@@ -180,6 +201,36 @@ mod tests {
 
     fn s(x: u64) -> SimTime {
         SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn out_of_range_config_is_a_typed_error() {
+        let good = FirewallConfig {
+            threshold_rps: 100.0,
+            poll_interval: SimDuration::from_secs(1),
+            detection_lag: SimDuration::from_secs(1),
+            ban_duration: None,
+        };
+        assert!(Firewall::try_new(SimTime::ZERO, good.clone()).is_ok());
+        let mut bad = good.clone();
+        bad.threshold_rps = 0.0;
+        assert_eq!(
+            Firewall::try_new(SimTime::ZERO, bad).unwrap_err(),
+            ConfigError::Parameter {
+                component: "Firewall",
+                field: "threshold_rps",
+                value: 0.0,
+            }
+        );
+        let mut bad = good;
+        bad.poll_interval = SimDuration::ZERO;
+        assert!(matches!(
+            Firewall::try_new(SimTime::ZERO, bad).unwrap_err(),
+            ConfigError::Parameter {
+                field: "poll_interval",
+                ..
+            }
+        ));
     }
 
     fn fw(threshold: f64, lag_s: u64) -> Firewall {

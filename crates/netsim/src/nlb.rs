@@ -8,10 +8,16 @@
 //! * `UrlSplit` — the paper's PDF mechanism: URLs on the suspect list go
 //!   to the isolated *suspect pool*, everything else to the main pool
 //!   (the "url-based forwarding module" + "package rewriter" of Fig 14).
+//! * `AdaptiveSplit` — PDF driven by the online power-attribution
+//!   profiler: the same pool split, but the URL → class map is published
+//!   at runtime (and re-published as the profiler learns), so no offline
+//!   profile is needed. Classification stays an O(1) hash lookup on the
+//!   forwarding hot path.
 
 use crate::error::ConfigError;
-use crate::request::Request;
-use crate::suspect::SuspectList;
+use crate::request::{Request, UrlId};
+use crate::suspect::{FlowClass, SuspectList};
+use simcore::FxHashMap;
 
 /// How the NLB picks a backend.
 #[derive(Debug, Clone)]
@@ -25,6 +31,19 @@ pub enum ForwardingPolicy {
     UrlSplit {
         /// The offline-profiled suspect list.
         list: SuspectList,
+        /// Backend indices reserved for suspect flows.
+        suspect_pool: Vec<usize>,
+        /// Backend indices serving innocent flows.
+        innocent_pool: Vec<usize>,
+    },
+    /// Oracle-free PDF: split by a class map the online profiler
+    /// publishes between monitor ticks (hot-swapped via
+    /// [`Nlb::policy_mut`]).
+    AdaptiveSplit {
+        /// Published URL classifications.
+        classes: FxHashMap<UrlId, FlowClass>,
+        /// Class for URLs the profiler has not (yet) decided.
+        default_class: FlowClass,
         /// Backend indices reserved for suspect flows.
         suspect_pool: Vec<usize>,
         /// Backend indices serving innocent flows.
@@ -55,6 +74,11 @@ impl Nlb {
             return Err(ConfigError::NoBackends);
         }
         if let ForwardingPolicy::UrlSplit {
+            suspect_pool,
+            innocent_pool,
+            ..
+        }
+        | ForwardingPolicy::AdaptiveSplit {
             suspect_pool,
             innocent_pool,
             ..
@@ -192,22 +216,43 @@ impl Nlb {
                 } else {
                     (innocent_pool, &mut self.innocent_cursor)
                 };
-                let first = pool[*cursor % pool.len()];
-                *cursor = cursor.wrapping_add(1);
-                let mut b = first;
-                let mut tried = 1;
-                while !self.healthy[b] && tried < pool.len() {
-                    b = pool[*cursor % pool.len()];
-                    *cursor = cursor.wrapping_add(1);
-                    tried += 1;
-                }
-                if self.healthy[b] {
-                    b
+                pick_healthy(pool, cursor, &self.healthy)
+            }
+            ForwardingPolicy::AdaptiveSplit {
+                classes,
+                default_class,
+                suspect_pool,
+                innocent_pool,
+            } => {
+                let class = classes.get(&req.url).copied().unwrap_or(*default_class);
+                let (pool, cursor) = if class == FlowClass::Suspect {
+                    self.to_suspect_pool += 1;
+                    (suspect_pool, &mut self.suspect_cursor)
                 } else {
-                    first
-                }
+                    (innocent_pool, &mut self.innocent_cursor)
+                };
+                pick_healthy(pool, cursor, &self.healthy)
             }
         }
+    }
+}
+
+/// Round-robin within `pool`, skipping unhealthy members; if every member
+/// is down, falls back to the first candidate tried (see [`Nlb::route`]).
+fn pick_healthy(pool: &[usize], cursor: &mut usize, healthy: &[bool]) -> usize {
+    let first = pool[*cursor % pool.len()];
+    *cursor = cursor.wrapping_add(1);
+    let mut b = first;
+    let mut tried = 1;
+    while !healthy[b] && tried < pool.len() {
+        b = pool[*cursor % pool.len()];
+        *cursor = cursor.wrapping_add(1);
+        tried += 1;
+    }
+    if healthy[b] {
+        b
+    } else {
+        first
     }
 }
 
@@ -268,9 +313,9 @@ mod tests {
     }
 
     fn split_nlb() -> Nlb {
-        let mut list = SuspectList::new(0.7, FlowClass::Innocent);
-        list.set_profile(UrlId(0), 0.95); // suspect
-        list.set_profile(UrlId(3), 0.3); // innocent
+        let mut list = SuspectList::new(0.7, FlowClass::Innocent).unwrap();
+        list.set_profile(UrlId(0), 0.95).unwrap(); // suspect
+        list.set_profile(UrlId(3), 0.3).unwrap(); // innocent
         Nlb::new(
             4,
             ForwardingPolicy::UrlSplit {
@@ -304,7 +349,7 @@ mod tests {
 
     #[test]
     fn overlapping_pools_rejected() {
-        let list = SuspectList::new(0.7, FlowClass::Innocent);
+        let list = SuspectList::new(0.7, FlowClass::Innocent).unwrap();
         let err = Nlb::new(
             4,
             ForwardingPolicy::UrlSplit {
@@ -319,7 +364,7 @@ mod tests {
 
     #[test]
     fn out_of_range_pool_rejected() {
-        let list = SuspectList::new(0.7, FlowClass::Innocent);
+        let list = SuspectList::new(0.7, FlowClass::Innocent).unwrap();
         let err = Nlb::new(
             2,
             ForwardingPolicy::UrlSplit {
@@ -380,6 +425,77 @@ mod tests {
         // leaking into the innocent pool.
         nlb.set_health(3, false);
         assert_eq!(nlb.route(&req(&mut b, 0)), 3);
+    }
+
+    fn adaptive_nlb() -> Nlb {
+        Nlb::new(
+            4,
+            ForwardingPolicy::AdaptiveSplit {
+                classes: FxHashMap::default(),
+                default_class: FlowClass::Innocent,
+                suspect_pool: vec![3],
+                innocent_pool: vec![0, 1, 2],
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adaptive_split_routes_by_published_classes() {
+        let mut nlb = adaptive_nlb();
+        if let ForwardingPolicy::AdaptiveSplit { classes, .. } = nlb.policy_mut() {
+            classes.insert(UrlId(0), FlowClass::Suspect);
+            classes.insert(UrlId(3), FlowClass::Innocent);
+        }
+        let mut b = RequestBuilder::new();
+        for _ in 0..3 {
+            assert_eq!(nlb.route(&req(&mut b, 0)), 3);
+        }
+        let innocents: Vec<usize> = (0..3).map(|_| nlb.route(&req(&mut b, 3))).collect();
+        assert_eq!(innocents, vec![0, 1, 2]);
+        // Unclassified URLs take the default class.
+        assert!(nlb.route(&req(&mut b, 42)) < 3);
+        assert_eq!(nlb.to_suspect_pool(), 3);
+    }
+
+    #[test]
+    fn adaptive_split_hot_swap_reroutes() {
+        let mut nlb = adaptive_nlb();
+        let mut b = RequestBuilder::new();
+        // Before the profiler learns anything, URL 7 rides the main pool.
+        assert!(nlb.route(&req(&mut b, 7)) < 3);
+        // The profiler publishes a new class map between ticks…
+        if let ForwardingPolicy::AdaptiveSplit { classes, .. } = nlb.policy_mut() {
+            classes.insert(UrlId(7), FlowClass::Suspect);
+        }
+        // …and the very next request is isolated.
+        assert_eq!(nlb.route(&req(&mut b, 7)), 3);
+    }
+
+    #[test]
+    fn adaptive_split_validates_pools_like_url_split() {
+        let err = Nlb::new(
+            4,
+            ForwardingPolicy::AdaptiveSplit {
+                classes: FxHashMap::default(),
+                default_class: FlowClass::Innocent,
+                suspect_pool: vec![2],
+                innocent_pool: vec![1, 2],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::OverlappingPools { index: 2 });
+        let err = Nlb::new(
+            4,
+            ForwardingPolicy::AdaptiveSplit {
+                classes: FxHashMap::default(),
+                default_class: FlowClass::Innocent,
+                suspect_pool: vec![],
+                innocent_pool: vec![0],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyPool { pool: "suspect" });
     }
 
     #[test]

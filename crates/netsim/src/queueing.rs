@@ -61,11 +61,43 @@
 //! schedules one completion event per server carrying the epoch, and
 //! discards stale events on delivery.
 
+use crate::error::ConfigError;
 use crate::request::{Request, RequestId};
 use simcore::fxhash::FxHashMap;
 use simcore::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Shared parameter validation for the PS servers (real and reference).
+fn check_server_params(
+    component: &'static str,
+    cores: usize,
+    core_ghz: f64,
+    max_inflight: usize,
+) -> Result<(), ConfigError> {
+    if cores < 1 {
+        return Err(ConfigError::Parameter {
+            component,
+            field: "cores",
+            value: cores as f64,
+        });
+    }
+    if core_ghz <= 0.0 || !core_ghz.is_finite() {
+        return Err(ConfigError::Parameter {
+            component,
+            field: "core_ghz",
+            value: core_ghz,
+        });
+    }
+    if max_inflight < 1 {
+        return Err(ConfigError::Parameter {
+            component,
+            field: "max_inflight",
+            value: max_inflight as f64,
+        });
+    }
+    Ok(())
+}
 
 /// Round an ETA in seconds up to the next microsecond tick, snapping to
 /// the nearest tick first: the virtual-time accumulator carries ~1 ulp of
@@ -157,10 +189,22 @@ pub struct PsServer {
 
 impl PsServer {
     /// A server with `cores` cores at `core_ghz` nominal, admitting at
-    /// most `max_inflight` concurrent requests.
+    /// most `max_inflight` concurrent requests. Panics on out-of-range
+    /// parameters; use [`PsServer::try_new`] to handle them as errors.
     pub fn new(start: SimTime, cores: usize, core_ghz: f64, max_inflight: usize) -> Self {
-        assert!(cores >= 1 && core_ghz > 0.0 && max_inflight >= 1);
-        PsServer {
+        Self::try_new(start, cores, core_ghz, max_inflight).expect("invalid PsServer parameters")
+    }
+
+    /// Fallible constructor: rejects zero cores, a non-positive clock, or
+    /// a zero admission limit with a typed [`ConfigError`].
+    pub fn try_new(
+        start: SimTime,
+        cores: usize,
+        core_ghz: f64,
+        max_inflight: usize,
+    ) -> Result<Self, ConfigError> {
+        check_server_params("PsServer", cores, core_ghz, max_inflight)?;
+        Ok(PsServer {
             cores,
             core_ghz,
             rel_freq: 1.0,
@@ -174,7 +218,7 @@ impl PsServer {
             epoch: 0,
             completed: 0,
             rejected: 0,
-        }
+        })
     }
 
     /// Core count.
@@ -430,6 +474,7 @@ impl PsServer {
 #[doc(hidden)]
 pub mod reference {
     use super::PushOutcome;
+    use crate::error::ConfigError;
     use crate::request::{Request, RequestId};
     use simcore::{SimDuration, SimTime};
 
@@ -456,10 +501,22 @@ pub mod reference {
 
     impl ReferencePsServer {
         /// A server with `cores` cores at `core_ghz` nominal, admitting
-        /// at most `max_inflight` concurrent requests.
+        /// at most `max_inflight` concurrent requests. Panics on
+        /// out-of-range parameters; use [`ReferencePsServer::try_new`].
         pub fn new(start: SimTime, cores: usize, core_ghz: f64, max_inflight: usize) -> Self {
-            assert!(cores >= 1 && core_ghz > 0.0 && max_inflight >= 1);
-            ReferencePsServer {
+            Self::try_new(start, cores, core_ghz, max_inflight)
+                .expect("invalid ReferencePsServer parameters")
+        }
+
+        /// Fallible constructor mirroring [`super::PsServer::try_new`].
+        pub fn try_new(
+            start: SimTime,
+            cores: usize,
+            core_ghz: f64,
+            max_inflight: usize,
+        ) -> Result<Self, ConfigError> {
+            super::check_server_params("ReferencePsServer", cores, core_ghz, max_inflight)?;
+            Ok(ReferencePsServer {
                 cores,
                 core_ghz,
                 rel_freq: 1.0,
@@ -469,7 +526,7 @@ pub mod reference {
                 epoch: 0,
                 completed: 0,
                 rejected: 0,
-            }
+            })
         }
 
         /// Requests currently in flight.

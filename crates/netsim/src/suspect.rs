@@ -6,6 +6,7 @@
 //! per-request power intensity; URLs whose intensity exceeds a threshold
 //! are classified *suspect* and forwarded to the isolated pool.
 
+use crate::error::ConfigError;
 use crate::request::UrlId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -30,13 +31,17 @@ pub struct SuspectList {
 
 impl SuspectList {
     /// Empty list: everything classified `default_class` until profiled.
-    pub fn new(threshold: f64, default_class: FlowClass) -> Self {
-        assert!((0.0..=1.0).contains(&threshold));
-        SuspectList {
+    /// Rejects thresholds outside `[0, 1]` (profiled intensities are
+    /// normalized, so such a threshold could never bite).
+    pub fn new(threshold: f64, default_class: FlowClass) -> Result<Self, ConfigError> {
+        if !(0.0..=1.0).contains(&threshold) || !threshold.is_finite() {
+            return Err(ConfigError::Threshold { value: threshold });
+        }
+        Ok(SuspectList {
             intensities: HashMap::new(),
             threshold,
             default_class,
-        }
+        })
     }
 
     /// The suspicion threshold on profiled intensity.
@@ -44,10 +49,14 @@ impl SuspectList {
         self.threshold
     }
 
-    /// Record (or update) a profiled intensity for `url`.
-    pub fn set_profile(&mut self, url: UrlId, intensity: f64) {
-        assert!((0.0..=1.0).contains(&intensity), "intensity={intensity}");
+    /// Record (or update) a profiled intensity for `url`. Rejects
+    /// intensities outside the normalized `[0, 1]` range.
+    pub fn set_profile(&mut self, url: UrlId, intensity: f64) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&intensity) || !intensity.is_finite() {
+            return Err(ConfigError::Intensity { value: intensity });
+        }
         self.intensities.insert(url, intensity);
+        Ok(())
     }
 
     /// Profiled intensity of `url`, if known.
@@ -93,11 +102,11 @@ mod tests {
 
     #[test]
     fn classification_by_threshold() {
-        let mut sl = SuspectList::new(0.7, FlowClass::Innocent);
-        sl.set_profile(UrlId(0), 0.95); // Colla-Filt-like
-        sl.set_profile(UrlId(1), 0.9); // K-means-like
-        sl.set_profile(UrlId(2), 0.75); // Word-Count-like
-        sl.set_profile(UrlId(3), 0.35); // Text-Cont-like
+        let mut sl = SuspectList::new(0.7, FlowClass::Innocent).unwrap();
+        sl.set_profile(UrlId(0), 0.95).unwrap(); // Colla-Filt-like
+        sl.set_profile(UrlId(1), 0.9).unwrap(); // K-means-like
+        sl.set_profile(UrlId(2), 0.75).unwrap(); // Word-Count-like
+        sl.set_profile(UrlId(3), 0.35).unwrap(); // Text-Cont-like
         assert!(sl.is_suspect(UrlId(0)));
         assert!(sl.is_suspect(UrlId(1)));
         assert!(sl.is_suspect(UrlId(2)));
@@ -107,27 +116,43 @@ mod tests {
 
     #[test]
     fn unknown_urls_take_default() {
-        let innocent_default = SuspectList::new(0.5, FlowClass::Innocent);
+        let innocent_default = SuspectList::new(0.5, FlowClass::Innocent).unwrap();
         assert_eq!(innocent_default.classify(UrlId(99)), FlowClass::Innocent);
-        let paranoid = SuspectList::new(0.5, FlowClass::Suspect);
+        let paranoid = SuspectList::new(0.5, FlowClass::Suspect).unwrap();
         assert_eq!(paranoid.classify(UrlId(99)), FlowClass::Suspect);
     }
 
     #[test]
     fn exactly_at_threshold_is_innocent() {
-        let mut sl = SuspectList::new(0.7, FlowClass::Innocent);
-        sl.set_profile(UrlId(0), 0.7);
+        let mut sl = SuspectList::new(0.7, FlowClass::Innocent).unwrap();
+        sl.set_profile(UrlId(0), 0.7).unwrap();
         assert!(!sl.is_suspect(UrlId(0)));
     }
 
     #[test]
     fn reprofiling_overwrites() {
-        let mut sl = SuspectList::new(0.5, FlowClass::Innocent);
-        sl.set_profile(UrlId(0), 0.9);
+        let mut sl = SuspectList::new(0.5, FlowClass::Innocent).unwrap();
+        sl.set_profile(UrlId(0), 0.9).unwrap();
         assert!(sl.is_suspect(UrlId(0)));
-        sl.set_profile(UrlId(0), 0.1);
+        sl.set_profile(UrlId(0), 0.1).unwrap();
         assert!(!sl.is_suspect(UrlId(0)));
         assert_eq!(sl.profiled(), 1);
         assert_eq!(sl.intensity(UrlId(0)), Some(0.1));
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_typed_errors() {
+        assert_eq!(
+            SuspectList::new(1.5, FlowClass::Innocent).unwrap_err(),
+            ConfigError::Threshold { value: 1.5 }
+        );
+        assert!(SuspectList::new(f64::NAN, FlowClass::Innocent).is_err());
+        let mut sl = SuspectList::new(0.5, FlowClass::Innocent).unwrap();
+        assert_eq!(
+            sl.set_profile(UrlId(0), -0.1).unwrap_err(),
+            ConfigError::Intensity { value: -0.1 }
+        );
+        // A rejected profile leaves the list untouched.
+        assert_eq!(sl.profiled(), 0);
     }
 }

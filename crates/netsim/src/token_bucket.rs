@@ -8,6 +8,7 @@
 //! bucket starves and the NLB sheds load — which holds power but, as the
 //! paper observes, "abandons more than 60 % of the packages".
 
+use crate::error::ConfigError;
 use simcore::SimTime;
 
 /// Classic token bucket: `rate` tokens/s refill, capacity `burst`.
@@ -23,17 +24,32 @@ pub struct TokenBucket {
 
 impl TokenBucket {
     /// A bucket refilling at `rate` tokens/s with capacity `burst`,
-    /// starting full.
+    /// starting full. Panics on out-of-range parameters; use
+    /// [`TokenBucket::try_new`] to handle them as errors.
     pub fn new(start: SimTime, rate: f64, burst: f64) -> Self {
-        assert!(rate > 0.0 && burst > 0.0);
-        TokenBucket {
+        Self::try_new(start, rate, burst).expect("invalid TokenBucket parameters")
+    }
+
+    /// Fallible constructor: rejects non-positive or non-finite rate and
+    /// burst with a typed [`ConfigError`].
+    pub fn try_new(start: SimTime, rate: f64, burst: f64) -> Result<Self, ConfigError> {
+        for (field, value) in [("rate", rate), ("burst", burst)] {
+            if value <= 0.0 || !value.is_finite() {
+                return Err(ConfigError::Parameter {
+                    component: "TokenBucket",
+                    field,
+                    value,
+                });
+            }
+        }
+        Ok(TokenBucket {
             rate,
             burst,
             tokens: burst,
             last_refill: start,
             admitted: 0,
             denied: 0,
-        }
+        })
     }
 
     fn refill(&mut self, now: SimTime) {
@@ -102,12 +118,29 @@ pub struct PowerTokenBucket {
 
 impl PowerTokenBucket {
     /// Bucket refilling at `dynamic_budget_w` joules/s, able to burst one
-    /// `burst_seconds`-worth of budget.
+    /// `burst_seconds`-worth of budget. Panics on out-of-range
+    /// parameters; use [`PowerTokenBucket::try_new`] to handle them.
     pub fn new(start: SimTime, dynamic_budget_w: f64, burst_seconds: f64) -> Self {
-        assert!(burst_seconds > 0.0);
-        PowerTokenBucket {
-            inner: TokenBucket::new(start, dynamic_budget_w, dynamic_budget_w * burst_seconds),
+        Self::try_new(start, dynamic_budget_w, burst_seconds)
+            .expect("invalid PowerTokenBucket parameters")
+    }
+
+    /// Fallible constructor: rejects non-positive budget or burst window.
+    pub fn try_new(
+        start: SimTime,
+        dynamic_budget_w: f64,
+        burst_seconds: f64,
+    ) -> Result<Self, ConfigError> {
+        if burst_seconds <= 0.0 || !burst_seconds.is_finite() {
+            return Err(ConfigError::Parameter {
+                component: "PowerTokenBucket",
+                field: "burst_seconds",
+                value: burst_seconds,
+            });
         }
+        Ok(PowerTokenBucket {
+            inner: TokenBucket::try_new(start, dynamic_budget_w, dynamic_budget_w * burst_seconds)?,
+        })
     }
 
     /// Admit a request whose execution is estimated to cost
@@ -146,6 +179,30 @@ impl PowerTokenBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn out_of_range_parameters_are_typed_errors() {
+        assert_eq!(
+            TokenBucket::try_new(SimTime::ZERO, 0.0, 5.0).unwrap_err(),
+            ConfigError::Parameter {
+                component: "TokenBucket",
+                field: "rate",
+                value: 0.0,
+            }
+        );
+        assert!(TokenBucket::try_new(SimTime::ZERO, 10.0, -1.0).is_err());
+        assert!(TokenBucket::try_new(SimTime::ZERO, f64::NAN, 1.0).is_err());
+        assert_eq!(
+            PowerTokenBucket::try_new(SimTime::ZERO, 100.0, 0.0).unwrap_err(),
+            ConfigError::Parameter {
+                component: "PowerTokenBucket",
+                field: "burst_seconds",
+                value: 0.0,
+            }
+        );
+        // A zero budget propagates from the inner bucket.
+        assert!(PowerTokenBucket::try_new(SimTime::ZERO, 0.0, 1.0).is_err());
+    }
     use proptest::prelude::*;
 
     fn ms(x: u64) -> SimTime {

@@ -72,7 +72,7 @@ impl Battery {
             ("max_discharge_w", max_discharge_w),
             ("max_charge_w", max_charge_w),
         ] {
-            if !(value > 0.0) || !value.is_finite() {
+            if value <= 0.0 || !value.is_finite() {
                 return Err(ConfigError::NonPositive { what, value });
             }
         }

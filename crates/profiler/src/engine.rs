@@ -1,0 +1,621 @@
+//! The attribution engine and the adaptive suspect list.
+//!
+//! Each monitor tick the cluster feeds one observation per live node:
+//! the node's measured power (possibly fault-degraded), its utilization,
+//! whether it is running at the nominal V/F point, and its in-flight URL
+//! mix. At the nominal point the server power law is linear in the
+//! per-URL intensities:
+//!
+//! ```text
+//! P = idle + u^e · Ī · scale,   Ī = Σ_url share_url · I_url
+//! ⇒ y = (P − idle) / (scale · u^e) = Σ_url share_url · I_url
+//! ```
+//!
+//! so `(shares, y)` is one EW-RLS observation. Off-nominal nodes are
+//! skipped (the DVFS factor re-couples intensity and γ there), which
+//! costs nothing: a throttled cluster still has nominal nodes every
+//! rotation onset, and the forgetting factor keeps stale evidence from
+//! pinning the estimate.
+
+use crate::config::ProfilerConfig;
+use crate::mix::MixTracker;
+use crate::rls::EwRls;
+use dcmetrics::OnlineSummary;
+use netsim::request::UrlId;
+use netsim::suspect::FlowClass;
+use serde::{Deserialize, Serialize};
+use simcore::FxHashMap;
+
+/// Accounting of one run of the online profiler, for reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerReport {
+    /// Learning observations absorbed (nominal-V/F node-ticks).
+    pub observations: u64,
+    /// Node-ticks skipped (off-nominal, idle, or unreadable sensor).
+    pub skipped: u64,
+    /// URLs tracked at the end of the run.
+    pub tracked_urls: u64,
+    /// URLs classified suspect at the end of the run.
+    pub suspect_urls: u64,
+    /// Classification flips published (promotions + demotions).
+    pub reclassifications: u64,
+    /// CUSUM drift detections (entry reset and re-learned).
+    pub drift_events: u64,
+    /// Entries demoted because they went unseen too long.
+    pub stale_demotions: u64,
+    /// Entries evicted to make room for newcomers.
+    pub evictions: u64,
+}
+
+/// The classification artifact PDF consumes: URL → class with hysteresis
+/// bands and minimum-sample gates so borderline URLs don't flap between
+/// pools.
+///
+/// Unlike the offline [`netsim::suspect::SuspectList`], membership here
+/// is earned from streamed evidence and can be revoked (drift, staleness,
+/// eviction). Lookups are a single hash probe — the forwarding hot path
+/// stays O(1) with no allocation.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSuspectList {
+    classes: FxHashMap<UrlId, FlowClass>,
+    threshold: f64,
+    hysteresis: f64,
+    min_samples: u32,
+    default_class: FlowClass,
+}
+
+impl AdaptiveSuspectList {
+    /// Empty list classifying everything `default_class` until learned.
+    pub fn new(cfg: &ProfilerConfig, default_class: FlowClass) -> Self {
+        AdaptiveSuspectList {
+            classes: FxHashMap::default(),
+            threshold: cfg.threshold,
+            hysteresis: cfg.hysteresis,
+            min_samples: cfg.min_samples,
+            default_class,
+        }
+    }
+
+    /// Classify a URL (O(1), allocation-free).
+    pub fn classify(&self, url: UrlId) -> FlowClass {
+        self.classes.get(&url).copied().unwrap_or(self.default_class)
+    }
+
+    /// Convenience: is this URL currently suspect?
+    pub fn is_suspect(&self, url: UrlId) -> bool {
+        self.classify(url) == FlowClass::Suspect
+    }
+
+    /// The published class map (cloned into the forwarding policy).
+    pub fn classes(&self) -> &FxHashMap<UrlId, FlowClass> {
+        &self.classes
+    }
+
+    /// URLs currently classified, for reports.
+    pub fn classified(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// URLs currently suspect, sorted for deterministic iteration.
+    pub fn suspects(&self) -> Vec<UrlId> {
+        let mut v: Vec<UrlId> = self
+            .classes
+            .iter()
+            .filter(|(_, &c)| c == FlowClass::Suspect)
+            .map(|(&u, _)| u)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Feed a fresh estimate for `url`. Promotion requires the estimate
+    /// above `threshold + hysteresis` with at least `min_samples`
+    /// observations; demotion requires it below `threshold − hysteresis`.
+    /// Inside the band the previous class sticks. Returns `true` when the
+    /// published class changed.
+    fn update(&mut self, url: UrlId, estimate: f64, samples: u32) -> bool {
+        if samples < self.min_samples {
+            return false;
+        }
+        let current = self.classes.get(&url).copied();
+        let next = if estimate > self.threshold + self.hysteresis {
+            Some(FlowClass::Suspect)
+        } else if estimate < self.threshold - self.hysteresis {
+            Some(FlowClass::Innocent)
+        } else {
+            current // hold inside the hysteresis band
+        };
+        match next {
+            Some(c) if current != Some(c) => {
+                self.classes.insert(url, c);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Revoke a URL's classification (drift, staleness, or eviction).
+    /// Returns `true` if it was classified.
+    fn revoke(&mut self, url: UrlId) -> bool {
+        self.classes.remove(&url).is_some()
+    }
+}
+
+/// Per-tracked-URL estimator state.
+#[derive(Debug, Clone)]
+struct UrlSlot {
+    url: UrlId,
+    /// Learning observations that included this URL.
+    samples: u32,
+    /// Monitor tick the URL last appeared in any node's mix.
+    last_seen: u64,
+    /// Welford summary of the estimate trajectory (confidence signal).
+    estimates: OnlineSummary,
+    /// Two-sided CUSUM accumulators on share-weighted normalized
+    /// residuals.
+    cusum_pos: f64,
+    cusum_neg: f64,
+}
+
+/// The streaming power-attribution profiler.
+///
+/// Owns the EW-RLS estimator, the URL → coordinate assignment (with
+/// eviction of the stalest entry at capacity), per-URL confidence
+/// tracking, CUSUM drift detection, and the [`AdaptiveSuspectList`] it
+/// publishes from.
+#[derive(Debug, Clone)]
+pub struct PowerProfiler {
+    cfg: ProfilerConfig,
+    rls: EwRls,
+    /// URL → RLS coordinate.
+    index: FxHashMap<UrlId, usize>,
+    /// Coordinate → tracking state (`None` = free coordinate).
+    slots: Vec<Option<UrlSlot>>,
+    list: AdaptiveSuspectList,
+    /// Global residual spread, for CUSUM normalization.
+    residuals: OnlineSummary,
+    /// Monitor ticks completed.
+    tick: u64,
+    stats: ProfilerReport,
+}
+
+impl PowerProfiler {
+    /// Profiler with the given configuration. The config must validate;
+    /// see [`ProfilerConfig::validate`].
+    pub fn new(cfg: ProfilerConfig) -> Self {
+        assert!(
+            cfg.validate().is_ok(),
+            "ProfilerConfig must validate before constructing a PowerProfiler"
+        );
+        let mut rls = EwRls::new(
+            cfg.max_urls,
+            cfg.forgetting,
+            cfg.prior_intensity,
+            cfg.prior_variance,
+        );
+        rls.set_variance_cap(cfg.variance_cap);
+        let list = AdaptiveSuspectList::new(&cfg, FlowClass::Innocent);
+        let slots = vec![None; cfg.max_urls];
+        PowerProfiler {
+            cfg,
+            rls,
+            index: FxHashMap::default(),
+            slots,
+            list,
+            residuals: OnlineSummary::new(),
+            tick: 0,
+            stats: ProfilerReport::default(),
+        }
+    }
+
+    /// The adaptive suspect list being published.
+    pub fn list(&self) -> &AdaptiveSuspectList {
+        &self.list
+    }
+
+    /// URLs currently tracked by the estimator.
+    pub fn tracked(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Current intensity estimate for `url`, clamped to `[0, 1]`.
+    pub fn estimate(&self, url: UrlId) -> Option<f64> {
+        self.index
+            .get(&url)
+            .map(|&i| self.rls.theta(i).clamp(0.0, 1.0))
+    }
+
+    /// Confidence summary for `url`: `(mean, std_dev, samples)` of its
+    /// estimate trajectory.
+    pub fn confidence(&self, url: UrlId) -> Option<(f64, f64, u64)> {
+        let &i = self.index.get(&url)?;
+        let s = self.slots[i].as_ref()?;
+        Some((s.estimates.mean(), s.estimates.std_dev(), s.estimates.count()))
+    }
+
+    /// Run accounting with final tracked/suspect counts filled in.
+    pub fn report(&self) -> ProfilerReport {
+        let mut r = self.stats.clone();
+        r.tracked_urls = self.index.len() as u64;
+        r.suspect_urls = self.list.suspects().len() as u64;
+        r
+    }
+
+    /// Assign a coordinate to `url`, evicting the stalest tracked URL if
+    /// at capacity. Returns `None` only when every coordinate is pinned
+    /// by the current observation (`busy`).
+    fn ensure_tracked(&mut self, url: UrlId, busy: &[(UrlId, u32)]) -> Option<usize> {
+        if let Some(&i) = self.index.get(&url) {
+            return Some(i);
+        }
+        let free = self.slots.iter().position(Option::is_none);
+        let coord = match free {
+            Some(i) => i,
+            None => {
+                // Evict the stalest URL not part of this observation;
+                // ties break on URL id for determinism.
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+                    .filter(|(_, s)| !busy.iter().any(|&(u, _)| u == s.url))
+                    .min_by_key(|(_, s)| (s.last_seen, s.url))?;
+                let (i, old_url) = (victim.0, victim.1.url);
+                self.index.remove(&old_url);
+                self.list.revoke(old_url);
+                self.stats.evictions += 1;
+                i
+            }
+        };
+        self.rls
+            .reset_coord(coord, self.cfg.prior_intensity, self.cfg.prior_variance);
+        self.slots[coord] = Some(UrlSlot {
+            url,
+            samples: 0,
+            last_seen: self.tick,
+            estimates: OnlineSummary::new(),
+            cusum_pos: 0.0,
+            cusum_neg: 0.0,
+        });
+        self.index.insert(url, coord);
+        Some(coord)
+    }
+
+    /// Absorb one node's monitor-tick observation.
+    ///
+    /// `power_w` is the node's measured power (`None` when the sensor
+    /// dropped the sample), `utilization` its busy-core fraction, and
+    /// `at_nominal` whether the node's *effective* P-state is the top one
+    /// (the only point where attribution is exactly linear). `mix` is the
+    /// node's in-flight `(url, count)` snapshot, sorted by URL.
+    pub fn observe_node(
+        &mut self,
+        power_w: Option<f64>,
+        utilization: f64,
+        at_nominal: bool,
+        mix: &[(UrlId, u32)],
+    ) {
+        let total: u32 = mix.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return; // idle node: nothing to attribute or refresh
+        }
+        // Any appearance refreshes staleness, learned from or not.
+        for &(url, _) in mix {
+            if let Some(&i) = self.index.get(&url) {
+                if let Some(s) = self.slots[i].as_mut() {
+                    s.last_seen = self.tick;
+                }
+            }
+        }
+        let usable = at_nominal && utilization > 0.0;
+        let Some(p) = power_w.filter(|p| p.is_finite() && usable) else {
+            self.stats.skipped += 1;
+            return;
+        };
+        let y = (p - self.cfg.idle_w)
+            / (self.cfg.dynamic_scale_w * utilization.powf(self.cfg.util_exponent));
+        if !y.is_finite() {
+            self.stats.skipped += 1;
+            return;
+        }
+        // Feature vector: in-flight shares of each tracked URL.
+        let mut x: Vec<(usize, f64)> = Vec::with_capacity(mix.len());
+        for &(url, count) in mix {
+            let Some(coord) = self.ensure_tracked(url, mix) else {
+                continue; // more distinct URLs in one mix than capacity
+            };
+            x.push((coord, count as f64 / total as f64));
+        }
+        if x.is_empty() {
+            self.stats.skipped += 1;
+            return;
+        }
+        let residual = self.rls.observe(&x, y);
+        self.stats.observations += 1;
+        if residual.is_finite() {
+            self.residuals.record(residual);
+        }
+        let sigma = self.residuals.std_dev().max(1e-3);
+        let z = residual / sigma;
+        for &(coord, share) in &x {
+            let Some(slot) = self.slots[coord].as_mut() else {
+                continue;
+            };
+            slot.samples += 1;
+            let est = self.rls.theta(coord).clamp(0.0, 1.0);
+            slot.estimates.record(est);
+            if slot.samples <= self.cfg.cusum_warmup {
+                continue; // initial transient is not drift
+            }
+            slot.cusum_pos = (slot.cusum_pos + z * share - self.cfg.cusum_slack).max(0.0);
+            slot.cusum_neg = (slot.cusum_neg - z * share - self.cfg.cusum_slack).max(0.0);
+            if slot.cusum_pos > self.cfg.cusum_threshold
+                || slot.cusum_neg > self.cfg.cusum_threshold
+            {
+                // Drift: this URL's coefficient no longer explains the
+                // power it draws. Demote it and re-learn from scratch.
+                let url = slot.url;
+                slot.samples = 0;
+                slot.estimates = OnlineSummary::new();
+                slot.cusum_pos = 0.0;
+                slot.cusum_neg = 0.0;
+                self.rls
+                    .reset_coord(coord, self.cfg.prior_intensity, self.cfg.prior_variance);
+                if self.list.revoke(url) {
+                    self.stats.reclassifications += 1;
+                }
+                self.stats.drift_events += 1;
+            }
+        }
+    }
+
+    /// Close the current monitor tick: demote stale entries, refresh the
+    /// published classifications, and report whether the class map
+    /// changed (the caller re-publishes into the forwarding policy only
+    /// then).
+    pub fn end_tick(&mut self) -> bool {
+        self.tick += 1;
+        let mut changed = false;
+        for coord in 0..self.slots.len() {
+            let Some(slot) = self.slots[coord].as_ref() else {
+                continue;
+            };
+            let (url, samples) = (slot.url, slot.samples);
+            if self.tick.saturating_sub(slot.last_seen) > self.cfg.stale_after_slots {
+                // Unseen too long: release the coordinate and the class.
+                self.slots[coord] = None;
+                self.index.remove(&url);
+                self.rls
+                    .reset_coord(coord, self.cfg.prior_intensity, self.cfg.prior_variance);
+                self.stats.stale_demotions += 1;
+                if self.list.revoke(url) {
+                    self.stats.reclassifications += 1;
+                    changed = true;
+                }
+                continue;
+            }
+            let est = self.rls.theta(coord).clamp(0.0, 1.0);
+            if self.list.update(url, est, samples) {
+                self.stats.reclassifications += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Convenience used by tests and benches: run one synthetic tick of
+    /// observations from a [`MixTracker`] against ground-truth powers.
+    pub fn observe_cluster(
+        &mut self,
+        mix: &MixTracker,
+        power_w: &[Option<f64>],
+        utilization: &[f64],
+        at_nominal: &[bool],
+    ) -> bool {
+        for node in 0..mix.nodes() {
+            let m = mix.mix_of(node);
+            self.observe_node(power_w[node], utilization[node], at_nominal[node], &m);
+        }
+        self.end_tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProfilerConfig {
+        ProfilerConfig::default()
+    }
+
+    /// Synthetic node power at nominal V/F for a mix of true intensities.
+    fn power_of(c: &ProfilerConfig, u: f64, mix: &[(UrlId, u32)], truth: &[(UrlId, f64)]) -> f64 {
+        let total: u32 = mix.iter().map(|&(_, n)| n).sum();
+        let mean_i: f64 = mix
+            .iter()
+            .map(|&(url, n)| {
+                let i = truth
+                    .iter()
+                    .find(|&&(u2, _)| u2 == url)
+                    .map(|&(_, i)| i)
+                    .unwrap_or(0.5);
+                i * n as f64 / total as f64
+            })
+            .sum();
+        c.idle_w + u.powf(c.util_exponent) * mean_i * c.dynamic_scale_w
+    }
+
+    #[test]
+    fn learns_and_classifies_a_two_url_mix() {
+        let c = cfg();
+        let truth = [(UrlId(0), 0.98), (UrlId(3), 0.35)];
+        let mut p = PowerProfiler::new(c.clone());
+        for round in 0..10u32 {
+            // Two nodes with different mixes each tick.
+            let m1 = [(UrlId(0), 3 + round % 2), (UrlId(3), 1)];
+            let m2 = [(UrlId(0), 1), (UrlId(3), 4)];
+            p.observe_node(Some(power_of(&c, 0.8, &m1, &truth)), 0.8, true, &m1);
+            p.observe_node(Some(power_of(&c, 0.5, &m2, &truth)), 0.5, true, &m2);
+            p.end_tick();
+        }
+        assert!(p.list().is_suspect(UrlId(0)));
+        assert!(!p.list().is_suspect(UrlId(3)));
+        assert!((p.estimate(UrlId(0)).unwrap() - 0.98).abs() < 0.02);
+        assert!((p.estimate(UrlId(3)).unwrap() - 0.35).abs() < 0.02);
+        let r = p.report();
+        assert_eq!(r.tracked_urls, 2);
+        assert_eq!(r.suspect_urls, 1);
+        assert!(r.observations >= 20);
+    }
+
+    #[test]
+    fn off_nominal_and_dropped_samples_are_skipped() {
+        let mut p = PowerProfiler::new(cfg());
+        let m = [(UrlId(0), 2)];
+        p.observe_node(Some(90.0), 0.5, false, &m); // throttled
+        p.observe_node(None, 0.5, true, &m); // sensor dropout
+        p.observe_node(Some(90.0), 0.0, true, &m); // no load signal
+        assert_eq!(p.report().observations, 0);
+        assert_eq!(p.report().skipped, 3);
+        // Nothing learned → nothing classified.
+        assert!(!p.list().is_suspect(UrlId(0)));
+    }
+
+    #[test]
+    fn min_sample_gate_blocks_early_promotion() {
+        let c = cfg();
+        let truth = [(UrlId(7), 0.95)];
+        let mut p = PowerProfiler::new(c.clone());
+        let m = [(UrlId(7), 4)];
+        // Two observations < min_samples (3): no class yet.
+        for _ in 0..2 {
+            p.observe_node(Some(power_of(&c, 0.9, &m, &truth)), 0.9, true, &m);
+        }
+        p.end_tick();
+        assert!(!p.list().is_suspect(UrlId(7)));
+        p.observe_node(Some(power_of(&c, 0.9, &m, &truth)), 0.9, true, &m);
+        p.end_tick();
+        assert!(p.list().is_suspect(UrlId(7)));
+    }
+
+    #[test]
+    fn hysteresis_holds_borderline_urls() {
+        let c = ProfilerConfig {
+            min_samples: 1,
+            ..cfg()
+        };
+        let mut p = PowerProfiler::new(c.clone());
+        let m = [(UrlId(1), 4)];
+        // Estimate inside the band (threshold 0.70 ± 0.05): never
+        // classified, never flaps.
+        let truth = [(UrlId(1), 0.72)];
+        for _ in 0..10 {
+            p.observe_node(Some(power_of(&c, 0.8, &m, &truth)), 0.8, true, &m);
+            p.end_tick();
+        }
+        assert_eq!(p.list().classified(), 0);
+        assert_eq!(p.report().reclassifications, 0);
+    }
+
+    #[test]
+    fn stale_urls_are_demoted_and_capacity_reclaimed() {
+        let c = ProfilerConfig {
+            stale_after_slots: 3,
+            ..cfg()
+        };
+        let truth = [(UrlId(9), 0.95)];
+        let mut p = PowerProfiler::new(c.clone());
+        let m = [(UrlId(9), 3)];
+        for _ in 0..5 {
+            p.observe_node(Some(power_of(&c, 0.8, &m, &truth)), 0.8, true, &m);
+            p.end_tick();
+        }
+        assert!(p.list().is_suspect(UrlId(9)));
+        // URL disappears (attacker rotated away): demoted after the
+        // staleness window.
+        for _ in 0..4 {
+            p.end_tick();
+        }
+        assert!(!p.list().is_suspect(UrlId(9)));
+        assert_eq!(p.tracked(), 0);
+        assert_eq!(p.report().stale_demotions, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_the_stalest_url() {
+        let c = ProfilerConfig {
+            max_urls: 2,
+            min_samples: 1,
+            ..cfg()
+        };
+        let truth = [(UrlId(1), 0.9), (UrlId(2), 0.9), (UrlId(3), 0.9)];
+        let mut p = PowerProfiler::new(c.clone());
+        let m1 = [(UrlId(1), 2)];
+        p.observe_node(Some(power_of(&c, 0.8, &m1, &truth)), 0.8, true, &m1);
+        p.end_tick();
+        let m2 = [(UrlId(2), 2)];
+        p.observe_node(Some(power_of(&c, 0.8, &m2, &truth)), 0.8, true, &m2);
+        p.end_tick();
+        assert_eq!(p.tracked(), 2);
+        // A third URL arrives: URL 1 (stalest) is evicted.
+        let m3 = [(UrlId(3), 2)];
+        p.observe_node(Some(power_of(&c, 0.8, &m3, &truth)), 0.8, true, &m3);
+        p.end_tick();
+        assert_eq!(p.tracked(), 2);
+        assert!(p.estimate(UrlId(1)).is_none());
+        assert!(p.estimate(UrlId(3)).is_some());
+        assert_eq!(p.report().evictions, 1);
+    }
+
+    #[test]
+    fn cusum_detects_an_intensity_shift_and_relearns() {
+        let c = ProfilerConfig {
+            forgetting: 0.995,
+            ..cfg()
+        };
+        let mut p = PowerProfiler::new(c.clone());
+        let m = [(UrlId(4), 4)];
+        let hot = [(UrlId(4), 0.95)];
+        let cold = [(UrlId(4), 0.20)];
+        for _ in 0..20 {
+            p.observe_node(Some(power_of(&c, 0.8, &m, &hot)), 0.8, true, &m);
+            p.end_tick();
+        }
+        assert!(p.list().is_suspect(UrlId(4)));
+        // The service behind the URL changes character: residuals pile up
+        // on one side until CUSUM trips, the entry re-learns, and the
+        // classification follows the new truth.
+        for _ in 0..60 {
+            p.observe_node(Some(power_of(&c, 0.8, &m, &cold)), 0.8, true, &m);
+            p.end_tick();
+        }
+        assert!(p.report().drift_events >= 1, "{:?}", p.report());
+        assert!(!p.list().is_suspect(UrlId(4)));
+        assert!((p.estimate(UrlId(4)).unwrap() - 0.20).abs() < 0.05);
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let c = cfg();
+        let truth = [(UrlId(0), 0.98), (UrlId(2), 0.78), (UrlId(3), 0.35)];
+        let run = || {
+            let mut p = PowerProfiler::new(c.clone());
+            for round in 0..12u32 {
+                let m1 = [(UrlId(0), 1 + round % 3), (UrlId(3), 2)];
+                let m2 = [(UrlId(2), 2), (UrlId(3), 1 + round % 2)];
+                p.observe_node(Some(power_of(&c, 0.7, &m1, &truth)), 0.7, true, &m1);
+                p.observe_node(Some(power_of(&c, 0.6, &m2, &truth)), 0.6, true, &m2);
+                p.end_tick();
+            }
+            (
+                p.report(),
+                p.estimate(UrlId(0)),
+                p.estimate(UrlId(2)),
+                p.estimate(UrlId(3)),
+                p.list().suspects(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,31 @@
+//! Online power-attribution profiler — the oracle-free replacement for
+//! Anti-DOPE's offline-profiled suspect list.
+//!
+//! The paper's PDF stage assumes an *offline* map from URL to power
+//! intensity; an attacker who rotates to freshly-minted URLs silently
+//! defeats a stale map. This crate closes the loop at runtime:
+//!
+//! 1. [`MixTracker`] maintains each node's in-flight URL mix in O(1) per
+//!    request (the cluster bumps it on dispatch and completion).
+//! 2. [`PowerProfiler`] decomposes per-node *measured* power over that
+//!    mix each monitor tick via exponentially-weighted recursive least
+//!    squares ([`rls::EwRls`]) — telemetry faults included: dropped
+//!    samples are simply skipped.
+//! 3. [`AdaptiveSuspectList`] publishes URL classifications behind
+//!    hysteresis bands and minimum-sample gates, with CUSUM drift
+//!    detection and staleness demotion so rotated-away URLs decay out.
+//!
+//! The forwarding hot path only does a hash lookup on the published
+//! class map; learning is amortized into the existing monitor tick.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod mix;
+pub mod rls;
+
+pub use config::{ProfilerConfig, ProfilerConfigError};
+pub use engine::{AdaptiveSuspectList, PowerProfiler, ProfilerReport};
+pub use mix::MixTracker;

@@ -221,6 +221,22 @@ impl RngFactory {
     }
 }
 
+/// Well-known stream labels shared across crates.
+///
+/// Components that draw from a [`RngFactory`] stream should name the
+/// stream through a constant here rather than an ad-hoc string literal:
+/// two components accidentally sharing a label would share a stream, and
+/// typo'd labels silently decouple a replay from the run it is supposed
+/// to reproduce.
+pub mod streams {
+    /// Fault-injection draws (sensor dropout, actuator stalls, crashes).
+    pub const FAULTS: &str = "faults";
+    /// URL-rotation schedule of the adaptive attacker (kept separate
+    /// from its arrival/jitter stream so rotating more or less often
+    /// never perturbs the arrival process).
+    pub const ATTACK_ROTATION: &str = "attack-rotation";
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +310,15 @@ mod tests {
         let mut rng = SimRng::new(9);
         assert!(!(0..1000).any(|_| rng.chance(0.0)));
         assert!((0..1000).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn well_known_stream_labels_are_distinct() {
+        let f = RngFactory::new(7);
+        assert_ne!(
+            f.stream(streams::FAULTS).next_u64(),
+            f.stream(streams::ATTACK_ROTATION).next_u64()
+        );
     }
 
     #[test]

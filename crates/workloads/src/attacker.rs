@@ -13,8 +13,8 @@ use crate::floods::FloodKind;
 use crate::service::ServiceKind;
 use crate::source::{SourceEvent, TrafficSource};
 use netsim::request::{Request, RequestBuilder, SourceId, UrlId};
-use simcore::rng::SimRng;
-use simcore::{SimDuration, SimTime};
+use simcore::rng::{streams, SimRng};
+use simcore::{RngFactory, SimDuration, SimTime};
 
 /// Which tool generates the attack traffic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -267,6 +267,139 @@ impl TrafficSource for FloodSource {
     }
 }
 
+/// An *adaptive* open-loop attacker that rotates the URL it floods.
+///
+/// A static suspect list (offline-profiled, or handed to the defense as
+/// an oracle) pins specific URLs; an attacker that registers — or simply
+/// discovers — many heavy endpoints can hop between them faster than any
+/// offline profile refreshes. Every `period` this source re-rolls its
+/// URL uniformly from `[url_base, url_base + url_space)`, keeping the
+/// *work character* of the victim kernel (the request is just as
+/// power-hungry) while the *name* the defense keys on keeps moving.
+///
+/// The rotation schedule draws from the dedicated
+/// [`streams::ATTACK_ROTATION`] stream, independent of the arrival /
+/// work-jitter stream, so changing the rotation period never perturbs
+/// the arrival process of an otherwise-identical run.
+pub struct RotatingFloodSource {
+    flood: FloodSource,
+    url_base: u16,
+    url_space: u16,
+    period: SimDuration,
+    next_rotation: SimTime,
+    rotation_rng: SimRng,
+    rotations: u64,
+}
+
+impl RotatingFloodSource {
+    /// Open-loop flood at `rate` req/s with the work character of
+    /// `victim`, rotating over `url_space` URLs starting at `url_base`
+    /// every `period`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn against_service(
+        rate: f64,
+        victim: ServiceKind,
+        url_base: u16,
+        url_space: u16,
+        period: SimDuration,
+        source_base: u32,
+        bots: u32,
+        id_base: u64,
+        start: SimTime,
+        stop: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(url_space >= 1, "need at least one URL to rotate over");
+        assert!(
+            url_base.checked_add(url_space).is_some(),
+            "URL range overflows u16"
+        );
+        assert!(!period.is_zero(), "rotation period must be positive");
+        let mut flood = FloodSource::against_service(
+            AttackTool::HttpLoad { rate },
+            victim,
+            source_base,
+            bots,
+            id_base,
+            start,
+            stop,
+            seed,
+        );
+        flood.label = format!("rotating-{}", flood.label);
+        let mut rotation_rng = RngFactory::new(seed).stream(streams::ATTACK_ROTATION);
+        flood.demand.url = UrlId(url_base + rotation_rng.below(url_space as u64) as u16);
+        RotatingFloodSource {
+            flood,
+            url_base,
+            url_space,
+            period,
+            next_rotation: start + period,
+            rotation_rng,
+            rotations: 0,
+        }
+    }
+
+    /// The URL range the attacker rotates over.
+    pub fn url_range(&self) -> std::ops::Range<u16> {
+        self.url_base..self.url_base + self.url_space
+    }
+
+    /// The URL currently being flooded.
+    pub fn current_url(&self) -> UrlId {
+        self.flood.demand.url
+    }
+
+    /// Completed rotations so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Ground-truth `(url, intensity)` profile of *every* URL this
+    /// attacker may ever flood. Handing this to a defense is
+    /// deliberately unrealistic — it is the "impossible knowledge"
+    /// oracle upper bound the online profiler is measured against.
+    pub fn oracle_profiles(&self) -> Vec<(UrlId, f64)> {
+        self.url_range()
+            .map(|u| (UrlId(u), self.flood.demand.intensity))
+            .collect()
+    }
+
+    fn rotate(&mut self) {
+        let mut pick = self.url_base + self.rotation_rng.below(self.url_space as u64) as u16;
+        // With more than one URL available, never "rotate" in place.
+        while self.url_space > 1 && UrlId(pick) == self.flood.demand.url {
+            pick = self.url_base + self.rotation_rng.below(self.url_space as u64) as u16;
+        }
+        self.flood.demand.url = UrlId(pick);
+        self.rotations += 1;
+    }
+}
+
+impl TrafficSource for RotatingFloodSource {
+    fn next_request(&mut self, now: SimTime) -> Option<Request> {
+        // Rotate on the generated arrival clock (simulated time), not on
+        // how often the driver polls this source.
+        let t = now.max(self.flood.clock);
+        while t >= self.next_rotation {
+            self.rotate();
+            self.next_rotation += self.period;
+        }
+        self.flood.next_request(now)
+    }
+
+    fn label(&self) -> &str {
+        self.flood.label()
+    }
+
+    fn feedback(&mut self, now: SimTime, event: SourceEvent) {
+        self.flood.feedback(now, event);
+    }
+
+    fn is_attacker(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +541,100 @@ mod tests {
         assert!(r.work_gcycles < 1e-4);
         assert!(f.is_attacker());
         assert_eq!(f.label(), "SYN-Flood");
+    }
+
+    fn rotating(period_s: u64, url_space: u16, seed: u64) -> RotatingFloodSource {
+        RotatingFloodSource::against_service(
+            200.0,
+            ServiceKind::CollaFilt,
+            800,
+            url_space,
+            SimDuration::from_secs(period_s),
+            5000,
+            20,
+            1 << 41,
+            s(0),
+            s(60),
+            seed,
+        )
+    }
+
+    #[test]
+    fn rotation_hops_within_range() {
+        let mut f = rotating(5, 8, 11);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = SimTime::ZERO;
+        while let Some(r) = f.next_request(last) {
+            assert!(r.is_attack);
+            assert!(
+                (800..808).contains(&r.url.0),
+                "url {} outside rotation range",
+                r.url.0
+            );
+            seen.insert(r.url.0);
+            last = r.arrival;
+        }
+        // 60 s / 5 s period = 11 rotations; repeats are avoided, so
+        // several distinct URLs must appear.
+        assert_eq!(f.rotations(), 11);
+        assert!(seen.len() >= 3, "only {} distinct URLs", seen.len());
+    }
+
+    #[test]
+    fn rotation_is_deterministic_per_seed() {
+        let mut a = rotating(2, 16, 9);
+        let mut b = rotating(2, 16, 9);
+        let mut last = SimTime::ZERO;
+        loop {
+            let (ra, rb) = (a.next_request(last), b.next_request(last));
+            assert_eq!(ra, rb);
+            match ra {
+                Some(r) => last = r.arrival,
+                None => break,
+            }
+        }
+        assert_eq!(a.rotations(), b.rotations());
+    }
+
+    #[test]
+    fn rotation_never_repeats_in_place() {
+        let mut f = rotating(1, 2, 3);
+        let mut prev = f.current_url();
+        let mut last = SimTime::ZERO;
+        while let Some(r) = f.next_request(last) {
+            if r.url != prev {
+                prev = r.url;
+            }
+            last = r.arrival;
+        }
+        // With a 2-URL space and in-place repeats forbidden, every one of
+        // the 59 rotations flips the URL.
+        assert_eq!(f.rotations(), 59);
+    }
+
+    #[test]
+    fn oracle_profiles_cover_the_whole_range() {
+        let f = rotating(5, 8, 1);
+        let profiles = f.oracle_profiles();
+        assert_eq!(profiles.len(), 8);
+        let expect = ServiceKind::CollaFilt.profile().intensity;
+        for (url, intensity) in &profiles {
+            assert!(f.url_range().contains(&url.0));
+            assert!((intensity - expect).abs() < 1e-12);
+        }
+        assert!(f.is_attacker());
+        assert!(f.label().starts_with("rotating-http-load"));
+    }
+
+    #[test]
+    fn single_url_space_is_static() {
+        let mut f = rotating(5, 1, 2);
+        let url = f.current_url();
+        let mut last = SimTime::ZERO;
+        while let Some(r) = f.next_request(last) {
+            assert_eq!(r.url, url);
+            last = r.arrival;
+        }
     }
 
     #[test]

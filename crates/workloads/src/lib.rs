@@ -36,7 +36,7 @@ pub mod service;
 pub mod source;
 
 pub use alibaba::{AlibabaTraceConfig, UtilizationTrace};
-pub use attacker::{AttackTool, FloodSource};
+pub use attacker::{AttackTool, FloodSource, RotatingFloodSource};
 pub use dope::{DopeAttacker, DopeConfig, DopePhase};
 pub use floods::{FloodKind, FloodLayer};
 pub use normal::NormalUsers;

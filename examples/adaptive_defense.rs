@@ -1,0 +1,138 @@
+//! Adaptive defense: Anti-DOPE without the oracle.
+//!
+//! The paper assumes PDF knows each URL's power intensity ahead of time
+//! — an offline-profiled suspect list. A patient attacker breaks that
+//! assumption by rotating the flood across URLs the list has never
+//! seen. This example runs that attack against three provenances of the
+//! same defense:
+//!
+//! * **oracle** — impossible knowledge: every rotation URL pre-profiled.
+//! * **online** — the power-attribution profiler learns intensities at
+//!   runtime from node power telemetry and hot-swaps the suspect list.
+//! * **stale** — the offline list only; the rotating flood rides the
+//!   innocent pool and the defense degrades toward plain capping.
+//!
+//! ```text
+//! cargo run --release --example adaptive_defense
+//! ```
+
+use antidope::scheme::{AntiDopeScheme, PowerScheme};
+use antidope_repro::prelude::*;
+use dcmetrics::export::Table;
+use rayon::prelude::*;
+use workloads::service::ServiceKind;
+
+const URL_BASE: u16 = 800;
+const URL_SPACE: u16 = 6;
+const ROTATION_S: u64 = 20;
+const ATTACK_RATE: f64 = 390.0;
+
+fn rotating_attack(seed: u64, horizon: SimTime) -> RotatingFloodSource {
+    RotatingFloodSource::against_service(
+        ATTACK_RATE,
+        ServiceKind::CollaFilt,
+        URL_BASE,
+        URL_SPACE,
+        SimDuration::from_secs(ROTATION_S),
+        50_000,
+        40,
+        1 << 40,
+        SimTime::from_secs(5),
+        horizon,
+        seed ^ 0x707A7E,
+    )
+}
+
+fn run_arm(arm: &str, window_s: u64, seed: u64) -> SimReport {
+    let mut cluster = ClusterConfig::paper_rack(BudgetLevel::Low);
+    cluster.firewall = true;
+    if arm == "online" {
+        cluster.profiler = Some(ProfilerConfig::default());
+    }
+    let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::AntiDope, seed);
+    exp.duration = SimDuration::from_secs(window_s);
+    let horizon = SimTime::ZERO + exp.duration;
+    let attack = rotating_attack(exp.seed, horizon);
+    let scheme: Box<dyn PowerScheme> = if arm == "oracle" {
+        Box::new(AntiDopeScheme::with_oracle_profiles(
+            &exp.cluster,
+            attack.oracle_profiles(),
+        ))
+    } else {
+        Box::new(AntiDopeScheme::new(&exp.cluster))
+    };
+    let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+    let sources: Vec<Box<dyn TrafficSource>> = vec![
+        Box::new(NormalUsers::new(
+            trace,
+            ServiceMix::alios_normal(),
+            80.0,
+            1_000,
+            60,
+            0,
+            horizon,
+            exp.seed,
+        )),
+        Box::new(attack),
+    ];
+    ClusterSim::run_with_scheme(&exp, scheme, sources)
+}
+
+fn main() {
+    let window_s = 300;
+    let seed = 2019;
+
+    println!(
+        "Adaptive defense: Anti-DOPE at Low-PB under a URL-rotating flood\n\
+         ({ATTACK_RATE:.0} req/s over {URL_SPACE} URLs, hop every {ROTATION_S} s), {window_s} s window\n"
+    );
+
+    let arms = ["oracle", "online", "stale"];
+    let reports: Vec<(&str, SimReport)> = arms
+        .par_iter()
+        .map(|&arm| (arm, run_arm(arm, window_s, seed)))
+        .collect();
+
+    let mut t = Table::new(
+        "Suspect-list provenance under rotation",
+        &[
+            "list",
+            "p99_ms",
+            "mean_ms",
+            "availability",
+            "violation_frac",
+            "to_suspect_pool",
+        ],
+    );
+    for (arm, r) in &reports {
+        t.push_row(vec![
+            arm.to_string(),
+            Table::fmt_f64(r.normal_latency.p99_ms),
+            Table::fmt_f64(r.normal_latency.mean_ms),
+            format!("{:.1}%", r.availability() * 100.0),
+            format!("{:.4}", r.power.violation_fraction),
+            r.traffic.to_suspect_pool.to_string(),
+        ]);
+    }
+    println!("{}", t.to_text());
+
+    if let Some((_, online)) = reports.iter().find(|(arm, _)| *arm == "online") {
+        let p = online.profiler.as_ref().expect("online arm ran the profiler");
+        println!(
+            "Profiler ledger (online arm): {} observations, {} URLs tracked,\n\
+             {} suspect, {} reclassifications, {} drift events, {} stale demotions\n",
+            p.observations,
+            p.tracked_urls,
+            p.suspect_urls,
+            p.reclassifications,
+            p.drift_events,
+            p.stale_demotions
+        );
+    }
+    println!(
+        "The online profiler learns each hopped-to URL from power telemetry within\n\
+         a few monitor ticks and republishes the suspect list, recovering the\n\
+         oracle's tail latency; the stale offline list never isolates the flood,\n\
+         so the whole cluster throttles and mean latency inflates for everyone."
+    );
+}

@@ -9,12 +9,14 @@
 //! * [`powercap`] — P-states, DVFS, RAPL, batteries, budgets
 //! * [`netsim`] — requests, queues, token buckets, firewall, NLB
 //! * [`workloads`] — EC service kernels, traces, attackers, DOPE
+//! * [`profiler`] — online power attribution and adaptive suspect lists
 //! * [`antidope`] — PDF + RPM/DPM, baselines, cluster simulator
 
 pub use antidope;
 pub use dcmetrics;
 pub use netsim;
 pub use powercap;
+pub use profiler;
 pub use simcore;
 pub use workloads;
 
@@ -25,11 +27,12 @@ pub mod prelude {
         SchemeKind, SimReport,
     };
     pub use powercap::BudgetLevel;
+    pub use profiler::{AdaptiveSuspectList, PowerProfiler, ProfilerConfig, ProfilerReport};
     pub use simcore::faults::{CrashEvent, FaultConfig};
     pub use simcore::{SimDuration, SimTime};
     pub use workloads::{
         alibaba::{AlibabaTraceConfig, UtilizationTrace},
-        attacker::{AttackTool, FloodSource},
+        attacker::{AttackTool, FloodSource, RotatingFloodSource},
         dope::{DopeAttacker, DopeConfig},
         normal::NormalUsers,
         service::{ServiceKind, ServiceMix},

@@ -14,7 +14,7 @@
 mod common;
 
 use antidope_repro::prelude::*;
-use common::{run_cell, run_chaos_cell, scenario};
+use common::{run_cell, run_chaos_cell, run_profiled_chaos_cell, scenario};
 use proptest::prelude::*;
 
 /// The acceptance gate: at Low-PB under a 390 req/s flood with 10% of
@@ -137,6 +137,52 @@ fn chaos_runs_are_deterministic() {
     assert!(f.sensor_dropouts > 0, "{f:?}");
     assert!(f.crashes >= 1, "{f:?}");
     assert!(f.reboots >= 1, "{f:?}");
+}
+
+/// The online profiler is part of the deterministic replay surface: with
+/// learning, hot-swapped suspect lists, *and* a multi-class fault plan
+/// all active, the same seed still reproduces the report bit-for-bit —
+/// including every profiler counter.
+#[test]
+fn profiled_chaos_runs_are_deterministic() {
+    let faults = FaultConfig {
+        sensor_dropout_p: 0.10,
+        sensor_noise_w: 2.0,
+        actuator_loss_p: 0.10,
+        crashes: vec![CrashEvent {
+            node: 1,
+            at: SimTime::from_secs(15),
+        }],
+        reboot_after: SimDuration::from_secs(10),
+        ..FaultConfig::default()
+    };
+    let a = run_profiled_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Low,
+        390.0,
+        60,
+        99,
+        faults.clone(),
+    );
+    let b = run_profiled_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Low,
+        390.0,
+        60,
+        99,
+        faults,
+    );
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "profiled chaos run not deterministic"
+    );
+    // Both subsystems actually exercised their paths.
+    let prof = a.profiler.expect("profiler report");
+    assert!(prof.observations > 0, "{prof:?}");
+    let f = a.faults.expect("fault report");
+    assert!(f.sensor_dropouts > 0, "{f:?}");
+    assert!(f.crashes >= 1, "{f:?}");
 }
 
 /// Enabling a no-op fault plan must not perturb the simulation: the

@@ -37,6 +37,13 @@ pub enum ConfigError {
         /// Offending value.
         value: f64,
     },
+    /// A control-plane parameter outside its valid range.
+    ControlPlane {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
     /// The fault-injection plan was invalid.
     Fault(FaultError),
     /// The online-profiler configuration was invalid.
@@ -57,6 +64,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::Threshold { value } => {
                 write!(f, "suspect threshold {value} is outside [0, 1]")
+            }
+            ConfigError::ControlPlane { what, value } => {
+                write!(f, "control plane: {what} = {value} is out of range")
             }
             ConfigError::Fault(e) => write!(f, "fault plan: {e}"),
             ConfigError::Profiler(e) => write!(f, "profiler: {e}"),
@@ -126,6 +136,66 @@ impl std::fmt::Display for SchemeKind {
     }
 }
 
+/// Tunables of the staged control plane ([`crate::control`]): watchdog
+/// engagement/recovery, telemetry staleness, and the actuator retry
+/// budget. Defaults equal the previously hard-coded deployment values,
+/// so a default config is behavior-identical to the pre-config build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneConfig {
+    /// Telemetry coverage (fraction of fresh sensors) below which the
+    /// watchdog distrusts the scheme's plan and applies the uniform
+    /// safe cap. Must lie in `[0, 1]`.
+    pub watchdog_coverage_floor: f64,
+    /// Consecutive healthy slots before the watchdog disengages
+    /// (recovery hysteresis). Must be at least 1.
+    pub watchdog_recovery_slots: u32,
+    /// Control slots a held last-good telemetry sample stays usable
+    /// before the node is charged its nameplate. Must be at least 1.
+    pub telemetry_staleness_slots: u64,
+    /// Read-back retries before an actuation is abandoned. Must be at
+    /// least 1.
+    pub actuator_max_retries: u8,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            watchdog_coverage_floor: 0.5,
+            watchdog_recovery_slots: 3,
+            telemetry_staleness_slots: 5,
+            actuator_max_retries: 3,
+        }
+    }
+}
+
+impl ControlPlaneConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.watchdog_coverage_floor) {
+            return Err(ConfigError::ControlPlane {
+                what: "watchdog_coverage_floor",
+                value: self.watchdog_coverage_floor,
+            });
+        }
+        if self.watchdog_recovery_slots < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "watchdog_recovery_slots",
+            });
+        }
+        if self.telemetry_staleness_slots < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "telemetry_staleness_slots",
+            });
+        }
+        if self.actuator_max_retries < 1 {
+            return Err(ConfigError::ZeroCount {
+                what: "actuator_max_retries",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Static description of the simulated cluster.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -170,6 +240,11 @@ pub struct ClusterConfig {
     /// attribution (see the `profiler` crate).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub profiler: Option<ProfilerConfig>,
+    /// Staged-control-plane tunables (watchdog, telemetry staleness,
+    /// actuator retries). The default reproduces the previously
+    /// hard-coded values.
+    #[serde(default)]
+    pub control: ControlPlaneConfig,
 }
 
 impl ClusterConfig {
@@ -195,6 +270,7 @@ impl ClusterConfig {
             thermal: false,
             faults: None,
             profiler: None,
+            control: ControlPlaneConfig::default(),
         }
     }
 
@@ -253,6 +329,7 @@ impl ClusterConfig {
                 what: "battery_sustain",
             });
         }
+        self.control.validate()?;
         if let Some(f) = &self.faults {
             f.validate(self.servers)?;
         }
@@ -362,6 +439,53 @@ mod tests {
         ));
         c.profiler = Some(ProfilerConfig::default());
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn control_plane_defaults_match_legacy_constants() {
+        let c = ControlPlaneConfig::default();
+        assert_eq!(c.watchdog_coverage_floor, 0.5);
+        assert_eq!(c.watchdog_recovery_slots, 3);
+        assert_eq!(c.telemetry_staleness_slots, 5);
+        assert_eq!(c.actuator_max_retries, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_control_plane() {
+        let mut c = ClusterConfig::paper_rack(BudgetLevel::Normal);
+        c.control.watchdog_coverage_floor = 1.5;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::ControlPlane {
+                what: "watchdog_coverage_floor",
+                value: 1.5
+            }
+        );
+        c.control.watchdog_coverage_floor = 0.5;
+        c.control.watchdog_recovery_slots = 0;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::ZeroCount {
+                what: "watchdog_recovery_slots"
+            }
+        );
+        c.control.watchdog_recovery_slots = 3;
+        c.control.telemetry_staleness_slots = 0;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::ZeroCount {
+                what: "telemetry_staleness_slots"
+            }
+        );
+        c.control.telemetry_staleness_slots = 5;
+        c.control.actuator_max_retries = 0;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::ZeroCount {
+                what: "actuator_max_retries"
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! **Account** — exact physical integration: energy metering, thermal
+//! RC dynamics, and the breaker model (the oversubscription physics
+//! behind Figs. 1 and 19 of the paper).
+//!
+//! Power is integrated *exactly*: every event that can change any
+//! node's power routes through the stage's `sync_power`, so the energy
+//! numbers are independent of the control-slot length. The thermal and
+//! breaker models advance once per slot; conceptually the accountant
+//! brackets the slot — running at the top of `handle_slot`, it closes
+//! the *previous* slot's integration interval before the control plane
+//! produces new commands.
+
+use super::BatteryFlows;
+use crate::cluster::Ev;
+use crate::node::ComputeNode;
+use dcmetrics::energy::EnergySource;
+use dcmetrics::{EnergyMeter, OnlineSummary, TimeSeries};
+use powercap::pdu::{BreakerState, PowerHierarchy};
+use powercap::pstate::PState;
+use powercap::thermal::{ThermalNode, ThermalState};
+use simcore::{Scheduler, SimTime};
+
+/// Physical-integration stage: meter, series, thermal and breaker
+/// models, and the outage latch.
+pub struct AccountStage {
+    /// Exact three-source energy meter (utility / battery / charge).
+    pub(crate) meter: EnergyMeter,
+    /// Current aggregate load power, watts.
+    pub(crate) cluster_power_w: f64,
+    /// Per-slot cluster power samples.
+    pub(crate) power_series: TimeSeries,
+    /// Per-slot battery state-of-charge samples.
+    pub(crate) battery_series: TimeSeries,
+    /// Per-slot mean V/F reduction across nodes.
+    pub(crate) vf_summary: OnlineSummary,
+    /// Deepest V/F reduction seen on any node.
+    pub(crate) max_vf: u8,
+    /// Cluster breaker model, when configured.
+    pub(crate) hierarchy: Option<PowerHierarchy>,
+    /// Per-node thermal models, when configured.
+    pub(crate) thermals: Option<Vec<ThermalNode>>,
+    /// When the breaker opened, if it did.
+    pub(crate) outage_at: Option<SimTime>,
+}
+
+impl AccountStage {
+    /// Fresh accountant with the meter and series seeded at the
+    /// cluster's idle draw.
+    pub(crate) fn new(
+        start: SimTime,
+        idle_power_w: f64,
+        hierarchy: Option<PowerHierarchy>,
+        thermals: Option<Vec<ThermalNode>>,
+    ) -> Self {
+        let mut meter = EnergyMeter::new(start);
+        meter.set_power(start, EnergySource::Utility, idle_power_w);
+        let mut power_series = TimeSeries::new();
+        power_series.record(start, idle_power_w);
+        let mut battery_series = TimeSeries::new();
+        battery_series.record(start, 1.0);
+        AccountStage {
+            meter,
+            cluster_power_w: idle_power_w,
+            power_series,
+            battery_series,
+            vf_summary: OnlineSummary::new(),
+            max_vf: 0,
+            hierarchy,
+            thermals,
+            outage_at: None,
+        }
+    }
+
+    /// When the breaker opened, if it did.
+    pub fn outage(&self) -> Option<SimTime> {
+        self.outage_at
+    }
+
+    /// Current aggregate load power, watts.
+    pub fn cluster_power_w(&self) -> f64 {
+        self.cluster_power_w
+    }
+
+    /// Recompute aggregate power and push the step change into the
+    /// meter. Called on *every* power-changing event, not just slots.
+    pub(crate) fn sync_power(
+        &mut self,
+        now: SimTime,
+        nodes: &[ComputeNode],
+        node_dead: &[bool],
+        flows: &BatteryFlows,
+    ) {
+        if self.outage_at.is_some() {
+            self.cluster_power_w = 0.0;
+            self.meter.set_power(now, EnergySource::Utility, 0.0);
+            self.meter.set_power(now, EnergySource::Battery, 0.0);
+            self.meter.set_power(now, EnergySource::BatteryCharge, 0.0);
+            return;
+        }
+        let total: f64 = nodes
+            .iter()
+            .zip(node_dead)
+            .map(|(n, &dead)| if dead { 0.0 } else { n.power_w() })
+            .sum();
+        self.cluster_power_w = total;
+        let utility = (total - flows.discharge_w).max(0.0) + flows.charge_w;
+        self.meter.set_power(now, EnergySource::Utility, utility);
+        self.meter
+            .set_power(now, EnergySource::Battery, flows.discharge_w.min(total));
+        self.meter
+            .set_power(now, EnergySource::BatteryCharge, flows.charge_w);
+    }
+
+    /// Advance the per-node thermal models one slot. PROCHOT clamps the
+    /// P-state in hardware (bypassing the fault layer — it is a
+    /// hardware path, not a control command); a critical trip is
+    /// returned for the driver to kill the node (the cooling layer of
+    /// the DOPE threat).
+    pub(crate) fn advance_thermals(
+        &mut self,
+        now: SimTime,
+        nodes: &mut [ComputeNode],
+        node_dead: &[bool],
+        sched: &mut Scheduler<Ev>,
+    ) -> Vec<usize> {
+        let mut tripped = Vec::new();
+        let Some(thermals) = self.thermals.as_mut() else {
+            return tripped;
+        };
+        for (i, th) in thermals.iter_mut().enumerate() {
+            if node_dead[i] {
+                continue;
+            }
+            let power = nodes[i].power_w();
+            let was = th.state();
+            let state = th.advance(now, power);
+            match state {
+                ThermalState::Prochot if was != ThermalState::Prochot => {
+                    // Hardware clamp: 1.6 GHz region regardless of
+                    // what any scheme commanded.
+                    let settle = nodes[i].command_pstate(now, PState(4));
+                    sched.at(settle, Ev::DvfsSettle { node: i });
+                }
+                ThermalState::Nominal if was == ThermalState::Prochot => {
+                    // Clamp released; schemes re-throttle next slot
+                    // if they need to.
+                    let top = nodes[i].table().max_state();
+                    let settle = nodes[i].command_pstate(now, top);
+                    sched.at(settle, Ev::DvfsSettle { node: i });
+                }
+                ThermalState::Tripped => tripped.push(i),
+                _ => {}
+            }
+        }
+        tripped
+    }
+
+    /// Feed the breaker what the utility actually carries; returns true
+    /// if it tripped *this* call (the unplanned outage of Fig. 1 — the
+    /// battery cannot save an open breaker). The outage latch is set
+    /// here; the driver handles the consequences (draining every node).
+    pub(crate) fn breaker_tripped(
+        &mut self,
+        now: SimTime,
+        flows: &BatteryFlows,
+        n_nodes: usize,
+    ) -> bool {
+        if self.outage_at.is_some() {
+            return false;
+        }
+        let Some(h) = &mut self.hierarchy else {
+            return false;
+        };
+        let utility = (self.cluster_power_w - flows.discharge_w).max(0.0) + flows.charge_w;
+        h.set_server_power(now, 0, utility);
+        for i in 1..n_nodes {
+            h.set_server_power(now, i, 0.0);
+        }
+        if matches!(h.cluster_breaker(), BreakerState::Tripped { .. }) {
+            self.outage_at = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// End-of-slot bookkeeping: record the power / SoC series and the
+    /// V/F reduction statistics.
+    pub(crate) fn record_slot(&mut self, now: SimTime, nodes: &[ComputeNode], battery_soc: f64) {
+        self.power_series.record(now, self.cluster_power_w);
+        self.battery_series.record(now, battery_soc);
+        let mean_vf = nodes
+            .iter()
+            .map(|n| n.vf_reduction_steps() as f64)
+            .sum::<f64>()
+            / nodes.len() as f64;
+        self.vf_summary.record(mean_vf);
+        self.max_vf = self
+            .max_vf
+            .max(nodes.iter().map(|n| n.vf_reduction_steps()).max().unwrap_or(0));
+    }
+
+    /// Dark data center: record the flatline so the report covers the
+    /// full window.
+    pub(crate) fn record_outage_slot(&mut self, now: SimTime, battery_soc: f64) {
+        self.power_series.record(now, 0.0);
+        self.battery_series.record(now, battery_soc);
+        self.meter.set_power(now, EnergySource::Utility, 0.0);
+        self.meter.set_power(now, EnergySource::Battery, 0.0);
+        self.meter.set_power(now, EnergySource::BatteryCharge, 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! **Act** — actuation (the paper's DPM throttling + battery
+//! transition, Fig. 12).
+//!
+//! Routes the decision stage's [`Action`] plan to hardware: DVFS
+//! P-state commands, RAPL-style power limits, and battery
+//! discharge/charge transitions. Under fault injection every command
+//! passes through the fault layer (which may lose, delay, or wedge it),
+//! and commanded P-states are recorded for read-back verification: a
+//! command that never took is re-issued with bounded doubling backoff
+//! and abandoned after the configured retry budget.
+
+use super::{BatteryFlows, FaultLayer};
+use crate::cluster::Ev;
+use crate::health::{ActuatorVerify, VerifyOutcome};
+use crate::node::ComputeNode;
+use crate::scheme::Action;
+use powercap::battery::Battery;
+use powercap::pstate::PState;
+use simcore::faults::ActuationFault;
+use simcore::{Scheduler, SimTime};
+
+/// Everything actuation touches, borrowed from the simulator for the
+/// duration of one enact pass.
+pub(crate) struct ActCtx<'a> {
+    /// The compute nodes (DVFS / RAPL targets).
+    pub nodes: &'a mut [ComputeNode],
+    /// Dead-node mask: crashed nodes are not actuated.
+    pub node_dead: &'a [bool],
+    /// The battery.
+    pub battery: &'a mut Battery,
+    /// Granted battery flows, updated in place.
+    pub flows: &'a mut BatteryFlows,
+    /// Fault layer, when configured.
+    pub fault: Option<&'a mut FaultLayer>,
+}
+
+/// Actuation stage: command issue plus read-back verification.
+pub struct ActStage {
+    /// Read-back verifier, present only under fault injection.
+    pub verify: Option<ActuatorVerify>,
+}
+
+impl ActStage {
+    /// Read-back verification: re-command actuations whose target never
+    /// took (a lost command or a stuck governor), with bounded doubling
+    /// backoff. `check` rearms the intent in place, so a retry must NOT
+    /// re-record it — that would reset the budget.
+    pub(crate) fn sweep(
+        &mut self,
+        now: SimTime,
+        nodes: &mut [ComputeNode],
+        node_dead: &[bool],
+        fault: &mut FaultLayer,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let Some(verify) = self.verify.as_mut() else {
+            return;
+        };
+        let retries: Vec<(usize, PState)> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !node_dead[*i])
+            .filter_map(|(i, n)| match verify.check(i, n.target_pstate(), now) {
+                VerifyOutcome::Retry(target) => Some((i, target)),
+                _ => None,
+            })
+            .collect();
+        for (node, target) in retries {
+            issue_pstate(now, node, target, nodes, Some(fault), sched);
+        }
+    }
+
+    /// Enact one slot's action plan.
+    pub(crate) fn enact(
+        &mut self,
+        now: SimTime,
+        actions: Vec<Action>,
+        mut ctx: ActCtx<'_>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        for action in actions {
+            match action {
+                Action::SetPState { node, target } => {
+                    if ctx.fault.is_some() && ctx.node_dead[node] {
+                        continue; // don't actuate a crashed node
+                    }
+                    if let Some(verify) = self.verify.as_mut() {
+                        verify.record(node, target, now);
+                    }
+                    issue_pstate(now, node, target, ctx.nodes, ctx.fault.as_deref_mut(), sched);
+                }
+                Action::SetPowerLimit { node, limit_w } => {
+                    if ctx.fault.is_some() && ctx.node_dead[node] {
+                        continue;
+                    }
+                    if let Some(verify) = self.verify.as_mut() {
+                        let intent = ctx.nodes[node].resolve_power_limit(limit_w);
+                        verify.record(node, intent, now);
+                    }
+                    issue_power_limit(now, node, limit_w, ctx.nodes, ctx.fault.as_deref_mut(), sched);
+                }
+                Action::BatteryDischarge { watts } => {
+                    let grant = ctx.battery.start_discharge(now, watts);
+                    ctx.flows.discharge_w = grant;
+                    ctx.flows.charge_w = 0.0;
+                    if let Some(ttb) = ctx.battery.time_to_bound() {
+                        sched.at(now + ttb, Ev::BatteryBound);
+                    }
+                }
+                Action::BatteryCharge { watts } => {
+                    // A failed charger blocks real charge commands; a
+                    // zero-watt command is a stop and needs no charger.
+                    if watts > 0.0 {
+                        if let Some(f) = ctx.fault.as_deref_mut() {
+                            if f.plan.charger_failed(now) {
+                                f.charger_blocked_slots += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    let drawn = ctx.battery.start_charge(now, watts);
+                    ctx.flows.charge_w = drawn;
+                    ctx.flows.discharge_w = 0.0;
+                    if let Some(ttb) = ctx.battery.time_to_bound() {
+                        sched.at(now + ttb, Ev::BatteryBound);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop any outstanding intent (the node crashed or rebooted).
+    pub fn clear_node(&mut self, node: usize) {
+        if let Some(verify) = self.verify.as_mut() {
+            verify.clear(node);
+        }
+    }
+}
+
+/// Route a P-state command through the fault layer (when active) and
+/// schedule its settle event. A lost or stuck command leaves the node
+/// untouched — read-back verification catches it next slot.
+pub(crate) fn issue_pstate(
+    now: SimTime,
+    node: usize,
+    target: PState,
+    nodes: &mut [ComputeNode],
+    fault: Option<&mut FaultLayer>,
+    sched: &mut Scheduler<Ev>,
+) {
+    match fault.map(|f| f.plan.actuate(now, node)) {
+        None | Some(ActuationFault::Clean) => {
+            let settle = nodes[node].command_pstate(now, target);
+            sched.at(settle, Ev::DvfsSettle { node });
+        }
+        Some(ActuationFault::Delayed(extra)) => {
+            let settle = nodes[node].command_pstate_after(now, target, extra);
+            sched.at(settle, Ev::DvfsSettle { node });
+        }
+        Some(ActuationFault::Lost | ActuationFault::Stuck) => {}
+    }
+}
+
+/// Power-limit analog of [`issue_pstate`].
+pub(crate) fn issue_power_limit(
+    now: SimTime,
+    node: usize,
+    limit_w: Option<f64>,
+    nodes: &mut [ComputeNode],
+    fault: Option<&mut FaultLayer>,
+    sched: &mut Scheduler<Ev>,
+) {
+    match fault.map(|f| f.plan.actuate(now, node)) {
+        None | Some(ActuationFault::Clean) => {
+            let (_, settle) = nodes[node].command_power_limit(now, limit_w);
+            sched.at(settle, Ev::DvfsSettle { node });
+        }
+        Some(ActuationFault::Delayed(extra)) => {
+            let (_, settle) = nodes[node].command_power_limit_after(now, limit_w, extra);
+            sched.at(settle, Ev::DvfsSettle { node });
+        }
+        Some(ActuationFault::Lost | ActuationFault::Stuck) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::faults::{FaultConfig, FaultPlan};
+    use simcore::rng::RngFactory;
+    use simcore::SimDuration;
+
+    fn lossy_fault_layer() -> FaultLayer {
+        let cfg = FaultConfig {
+            actuator_loss_p: 1.0, // every command vanishes
+            ..FaultConfig::default()
+        };
+        let rng = RngFactory::new(7).stream(simcore::rng::streams::FAULTS);
+        FaultLayer::new(FaultPlan::new(cfg, 1, rng).unwrap())
+    }
+
+    fn node() -> ComputeNode {
+        ComputeNode::new(SimTime::ZERO, 4, 64, SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn abandons_actuation_after_max_retries() {
+        let max_retries = 3u8;
+        let mut stage = ActStage {
+            verify: Some(ActuatorVerify::new(1, max_retries, SimDuration::from_secs(1))),
+        };
+        let mut nodes = vec![node()];
+        let node_dead = vec![false];
+        let mut fault = lossy_fault_layer();
+        let top = nodes[0].table().max_state();
+        let mut battery = Battery::sized_for(SimTime::ZERO, 400.0, SimDuration::from_secs(60));
+        let mut flows = BatteryFlows::default();
+
+        // Command a throttle; the fault layer loses it.
+        let mut sched = Scheduler::detached(SimTime::ZERO);
+        stage.enact(
+            SimTime::ZERO,
+            vec![Action::SetPState {
+                node: 0,
+                target: PState(4),
+            }],
+            ActCtx {
+                nodes: &mut nodes,
+                node_dead: &node_dead,
+                battery: &mut battery,
+                flows: &mut flows,
+                fault: Some(&mut fault),
+            },
+            &mut sched,
+        );
+        assert_eq!(nodes[0].target_pstate(), top, "lost command must not land");
+
+        // Read-back sweeps: each retry is re-lost; after the budget is
+        // spent the intent is abandoned, not retried forever. Backoff
+        // doubles from 1 s, so retries fall due at t = 1, 3, 7 and the
+        // give-up at t = 15.
+        for t in [1u64, 3, 7, 15, 31] {
+            let mut sched = Scheduler::detached(SimTime::from_secs(t));
+            stage.sweep(
+                SimTime::from_secs(t),
+                &mut nodes,
+                &node_dead,
+                &mut fault,
+                &mut sched,
+            );
+        }
+        let verify = stage.verify.as_ref().unwrap();
+        assert_eq!(verify.retries(), max_retries as u64);
+        assert_eq!(verify.giveups(), 1, "intent abandoned after the budget");
+        assert_eq!(verify.confirmed(), 0);
+        assert_eq!(nodes[0].target_pstate(), top, "node stayed wedged");
+    }
+
+    #[test]
+    fn confirmed_actuation_needs_no_retry() {
+        let mut stage = ActStage {
+            verify: Some(ActuatorVerify::new(1, 3, SimDuration::from_secs(1))),
+        };
+        let mut nodes = vec![node()];
+        let node_dead = vec![false];
+        let mut battery = Battery::sized_for(SimTime::ZERO, 400.0, SimDuration::from_secs(60));
+        let mut flows = BatteryFlows::default();
+        let mut sched = Scheduler::detached(SimTime::ZERO);
+        // No fault layer: the command lands cleanly.
+        stage.enact(
+            SimTime::ZERO,
+            vec![Action::SetPState {
+                node: 0,
+                target: PState(4),
+            }],
+            ActCtx {
+                nodes: &mut nodes,
+                node_dead: &node_dead,
+                battery: &mut battery,
+                flows: &mut flows,
+                fault: None,
+            },
+            &mut sched,
+        );
+        assert_eq!(nodes[0].target_pstate(), PState(4));
+        let mut clean = FaultLayer::new(
+            FaultPlan::new(
+                FaultConfig::default(),
+                1,
+                RngFactory::new(7).stream(simcore::rng::streams::FAULTS),
+            )
+            .unwrap(),
+        );
+        let mut sched = Scheduler::detached(SimTime::from_secs(1));
+        stage.sweep(SimTime::from_secs(1), &mut nodes, &node_dead, &mut clean, &mut sched);
+        let verify = stage.verify.as_ref().unwrap();
+        assert_eq!(verify.confirmed(), 1);
+        assert_eq!((verify.retries(), verify.giveups()), (0, 0));
+    }
+}

@@ -1,0 +1,99 @@
+//! **Decide** — the power-management decision (RPM Algorithm 1 and the
+//! Table 2 baselines, behind [`PowerScheme`]).
+//!
+//! Consumes only the trusted [`ClusterView`]: the scheme never sees raw
+//! sensor readings. When the filter's watchdog is engaged, the scheme's
+//! differentiated plan would bind against fiction, so this stage
+//! replaces it with the uniform worst-case-safe cap and parks the
+//! battery until telemetry recovers.
+
+use super::{BatteryFlows, ClusterView};
+use crate::config::ClusterConfig;
+use crate::node::ComputeNode;
+use crate::scheme::{Action, ControlInput, NodeSnapshot, PowerScheme};
+use netsim::request::Request;
+use powercap::battery::Battery;
+use powercap::pstate::PState;
+use simcore::SimTime;
+
+/// Decision stage: the scheme plus the watchdog's safe fallback.
+pub struct DecideStage {
+    /// The power scheme under evaluation.
+    pub scheme: Box<dyn PowerScheme>,
+    /// Uniform state the watchdog falls back to: safe for worst-case
+    /// full-load CPU-bound occupancy at the supplied budget. Present
+    /// only when a fault plan (and thus the watchdog) is configured.
+    pub safe_pstate: Option<PState>,
+}
+
+impl DecideStage {
+    /// Dataplane hook: scheme admission (Token's power bucket).
+    pub fn admit(&mut self, now: SimTime, req: &Request) -> bool {
+        self.scheme.admit(now, req)
+    }
+
+    /// Produce this slot's action plan from the trusted view.
+    #[allow(clippy::too_many_arguments)] // one call site: the slot driver
+    pub(crate) fn run(
+        &mut self,
+        now: SimTime,
+        view: &ClusterView,
+        supply_w: f64,
+        cfg: &ClusterConfig,
+        nodes: &[ComputeNode],
+        node_dead: &[bool],
+        battery: &Battery,
+        flows: &BatteryFlows,
+        actions: &mut Vec<Action>,
+    ) {
+        let (_, suspect_pool) = crate::pdf::partition_pools(cfg.servers, cfg.suspect_pool_size);
+        let input = ControlInput {
+            now,
+            supply_w,
+            demand_w: view.observed_w,
+            condition: view.condition,
+            nodes: nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    let (u, ints, g) = n.load_character();
+                    NodeSnapshot {
+                        utilization: u,
+                        intensity: ints,
+                        gamma: g,
+                        beta: n.mean_beta(),
+                        target: n.target_pstate(),
+                        suspect: suspect_pool.contains(&i),
+                        inflight: n.inflight(),
+                    }
+                })
+                .collect(),
+            battery_soc: battery.soc(),
+            battery_stored_j: battery.stored_j(),
+            battery_max_discharge_w: cfg.aggregate_nameplate_w(),
+            battery_max_charge_w: cfg.aggregate_nameplate_w() * 0.25,
+            battery_discharging_w: flows.discharge_w,
+            telemetry_coverage: view.coverage,
+        };
+        if view.watchdog_engaged {
+            // Degraded mode: apply the uniform worst-case-safe cap and
+            // park the battery until telemetry recovers.
+            let safe = self
+                .safe_pstate
+                .expect("watchdog implies a fault plan and thus a safe state");
+            for (i, n) in nodes.iter().enumerate() {
+                if !node_dead[i] && n.target_pstate() != safe {
+                    actions.push(Action::SetPState { node: i, target: safe });
+                }
+            }
+            if flows.discharge_w > 0.0 {
+                actions.push(Action::BatteryDischarge { watts: 0.0 });
+            }
+            if flows.charge_w > 0.0 {
+                actions.push(Action::BatteryCharge { watts: 0.0 });
+            }
+        } else {
+            self.scheme.control(&input, actions);
+        }
+    }
+}

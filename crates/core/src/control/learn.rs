@@ -1,0 +1,93 @@
+//! **Learn** — online power attribution (the offline-profiling half of
+//! the paper's PDF, Section 5.1, made online).
+//!
+//! Feeds each live node's (power, utilization, in-flight URL mix)
+//! observation to the EW-RLS attribution engine once per control slot,
+//! and republishes the suspect classes into the NLB's adaptive
+//! forwarding policy whenever the engine's list changes. The forwarding
+//! hot path never pays for learning — it is amortized here, into the
+//! control slot.
+
+use super::TelemetryFrame;
+use crate::node::ComputeNode;
+use netsim::nlb::{ForwardingPolicy, Nlb};
+use netsim::request::UrlId;
+use profiler::{MixTracker, PowerProfiler, ProfilerReport};
+
+/// Online-attribution stage: the RLS engine plus the per-node in-flight
+/// mix it learns from.
+pub struct LearnStage {
+    /// The attribution engine (EW-RLS over URL intensities).
+    pub engine: PowerProfiler,
+    /// Per-node in-flight URL mix, maintained by the dataplane.
+    pub mix: MixTracker,
+}
+
+impl LearnStage {
+    /// One learning pass over the live nodes, using the same (possibly
+    /// degraded) readings the control plane saw — sensing twice would
+    /// consume fault-layer randomness and break replay identity.
+    pub(crate) fn run(
+        &mut self,
+        nodes: &[ComputeNode],
+        node_dead: &[bool],
+        frame: &TelemetryFrame,
+        nlb: &mut Nlb,
+    ) {
+        for (i, node) in nodes.iter().enumerate() {
+            if node_dead[i] {
+                continue;
+            }
+            let power_w = match &frame.readings {
+                Some(readings) => readings[i],
+                None => Some(node.power_w()),
+            };
+            // A throttled node's reading is normalized to its
+            // nominal-equivalent by inverting the hardware-calibrated
+            // power model: P = idle(p) + u^e·I·s(p,γ)·H is linear in
+            // the mix intensity I at *every* P-state, so learning
+            // continues while DVFS throttles — which is exactly when
+            // attribution matters most. Only the per-URL intensities
+            // stay unknown; the server power curve is the operator's.
+            let (utilization, _, gamma) = node.load_character();
+            let state = node.effective_pstate();
+            let model = node.model();
+            let power_w = if state == node.table().max_state() {
+                power_w
+            } else {
+                let s = model.dvfs_factor(state, gamma);
+                power_w
+                    .filter(|_| s > 1e-6)
+                    .map(|w| model.idle_w + (w - model.idle_power(state)) / s)
+            };
+            let mix = self.mix.mix_of(i);
+            self.engine.observe_node(power_w, utilization, true, &mix);
+        }
+        if self.engine.end_tick() {
+            if let ForwardingPolicy::AdaptiveSplit { classes, .. } = nlb.policy_mut() {
+                classes.clone_from(self.engine.list().classes());
+            }
+        }
+    }
+
+    /// Dataplane hook: a request was dispatched to `node`.
+    pub fn on_dispatch(&mut self, node: usize, url: UrlId) {
+        self.mix.add(node, url);
+    }
+
+    /// Dataplane hook: a request finished on `node`.
+    pub fn on_complete(&mut self, node: usize, url: UrlId) {
+        self.mix.remove(node, url);
+    }
+
+    /// A node lost its queue (crash, reboot, outage): its in-flight mix
+    /// is gone.
+    pub fn forget_node(&mut self, node: usize) {
+        self.mix.clear_node(node);
+    }
+
+    /// The engine's final report.
+    pub fn report(&self) -> ProfilerReport {
+        self.engine.report()
+    }
+}

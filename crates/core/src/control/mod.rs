@@ -1,0 +1,212 @@
+//! The staged power control plane.
+//!
+//! The paper's RPM is explicitly a pipeline — power monitor → health
+//! checker → battery transition → DPM throttling (Fig. 12 /
+//! Algorithm 1). This module makes that decomposition structural: each
+//! box is a stage struct with typed dataflow between them, and
+//! [`ClusterSim`](crate::cluster::ClusterSim) drives them once per
+//! control slot:
+//!
+//! ```text
+//! Sense ──TelemetryFrame──► Filter ──ClusterView──► Decide ──Vec<Action>──► Act
+//!                              │                       ▲
+//!                              └──────► Learn ─────────┘ (suspect classes → NLB)
+//! Account: exact energy / thermal / breaker integration, bracketing
+//!          the slot (it closes the previous slot's interval first).
+//! ```
+//!
+//! * [`sense::SenseStage`] — read per-node power, through the fault
+//!   layer when one is configured (the paper's power monitor inputs).
+//! * [`filter::FilterStage`] — staleness-aware telemetry estimation +
+//!   coverage watchdog + the [`PowerMonitor`] itself (the paper's power
+//!   monitor + health checker).
+//! * [`learn::LearnStage`] — the online power-attribution profiler and
+//!   its hot-swap of suspect classes into the NLB (the offline-profiling
+//!   half of PDF, made online).
+//! * [`decide::DecideStage`] — the [`PowerScheme`] control call (RPM
+//!   Algorithm 1 / the baselines of Table 2).
+//! * [`act::ActStage`] — DVFS / RAPL / battery actuation with read-back
+//!   verification (the paper's DPM throttling + battery transition).
+//! * [`account::AccountStage`] — exact energy metering, thermal RC
+//!   integration, and the breaker model (the oversubscription physics of
+//!   Figs. 1 and 19).
+//!
+//! Adding a scheme, a telemetry filter, or an actuation path is now a
+//! single-stage change instead of an edit to one interleaved function.
+
+pub mod account;
+pub mod act;
+pub mod decide;
+pub mod filter;
+pub mod learn;
+pub mod sense;
+
+use crate::config::ClusterConfig;
+use crate::health::{ActuatorVerify, TelemetryHealth, Watchdog};
+use crate::scheme::PowerScheme;
+use powercap::budget::PowerBudget;
+use powercap::capper::{ServerLoad, UniformCapper};
+use powercap::monitor::PowerCondition;
+use powercap::monitor::PowerMonitor;
+use powercap::pdu::PowerHierarchy;
+use powercap::server_power::ServerPowerModel;
+use powercap::thermal::ThermalNode;
+use profiler::{MixTracker, PowerProfiler};
+use simcore::faults::FaultPlan;
+use simcore::SimTime;
+
+/// What [`sense::SenseStage`] produces each slot: the ground-truth
+/// aggregate plus, when a fault layer is active, the per-node readings
+/// as the sensors actually reported them (`None` = sensor produced
+/// nothing this slot).
+#[derive(Debug, Clone)]
+pub struct TelemetryFrame {
+    /// True aggregate load power this instant, watts. This is what the
+    /// monitor sees directly when no fault layer distorts sensing.
+    pub true_power_w: f64,
+    /// Per-node sensed readings, present only under fault injection.
+    /// `None` as a whole keeps the fault-free path allocation-free and
+    /// byte-identical to a build without the fault layer.
+    pub readings: Option<Vec<Option<f64>>>,
+}
+
+/// What [`filter::FilterStage`] produces: the trusted view of the
+/// cluster that [`decide::DecideStage`] is allowed to act on.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView {
+    /// The monitor's verdict on the filtered power estimate.
+    pub condition: PowerCondition,
+    /// The power estimate the monitor judged, watts.
+    pub observed_w: f64,
+    /// Fraction of nodes with a fresh sensor reading this slot.
+    pub coverage: f64,
+    /// True when coverage fell below the watchdog floor: the scheme's
+    /// differentiated plan must be replaced by the uniform safe cap.
+    pub watchdog_engaged: bool,
+}
+
+/// Battery power flows as granted by the last actuation, watts.
+///
+/// Split out of the simulator so the stages that read them (Decide,
+/// Account) and the ones that write them (Act, the battery-bound event)
+/// share one typed value instead of two loose floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatteryFlows {
+    /// Discharge into the load.
+    pub discharge_w: f64,
+    /// Charge drawn from the utility.
+    pub charge_w: f64,
+}
+
+/// Fault-injection environment shared by the stages: the plan itself
+/// (consumed by Sense for readings, Act for actuations, and the crash /
+/// charger paths) plus the cumulative counters the final report needs.
+/// Present only when the experiment configures a fault plan.
+pub(crate) struct FaultLayer {
+    /// The seeded fault schedule.
+    pub(crate) plan: FaultPlan,
+    /// In-flight requests lost to node crashes.
+    pub(crate) lost_to_crash: u64,
+    /// Charge actions refused by a failed charger.
+    pub(crate) charger_blocked_slots: u64,
+    /// Rejections accumulated on nodes that were since replaced by a
+    /// reboot (their counters restart at zero).
+    pub(crate) retired_rejected: u64,
+    /// DVFS transitions accumulated on since-replaced nodes.
+    pub(crate) retired_transitions: u64,
+}
+
+impl FaultLayer {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultLayer {
+            plan,
+            lost_to_crash: 0,
+            charger_blocked_slots: 0,
+            retired_rejected: 0,
+            retired_transitions: 0,
+        }
+    }
+}
+
+/// The assembled control plane: one struct per stage, driven in order
+/// by `ClusterSim::handle_slot`.
+pub struct ControlPipeline {
+    /// Telemetry acquisition.
+    pub sense: sense::SenseStage,
+    /// Telemetry trust: estimation, watchdog, monitor.
+    pub filter: filter::FilterStage,
+    /// Online power attribution, when configured.
+    pub learn: Option<learn::LearnStage>,
+    /// The power scheme.
+    pub decide: decide::DecideStage,
+    /// Actuation with read-back verification.
+    pub act: act::ActStage,
+    /// Energy / thermal / breaker integration.
+    pub account: account::AccountStage,
+}
+
+impl ControlPipeline {
+    /// Assemble the pipeline for a validated cluster config. `hardened`
+    /// is true when a fault plan is configured: it switches on telemetry
+    /// filtering, the watchdog, read-back verification, and the uniform
+    /// safe fallback. `idle_power_w` seeds the energy meter and power
+    /// series with the cluster's t=0 draw.
+    pub(crate) fn new(
+        cfg: &ClusterConfig,
+        scheme: Box<dyn PowerScheme>,
+        budget: PowerBudget,
+        start: SimTime,
+        hardened: bool,
+        idle_power_w: f64,
+    ) -> Self {
+        let monitor =
+            PowerMonitor::new(budget, 10, 1).expect("hard-coded monitor parameters are valid");
+        let hardening = hardened.then(|| filter::Hardening {
+            telemetry: TelemetryHealth::new(
+                cfg.servers,
+                cfg.control_slot * cfg.control.telemetry_staleness_slots,
+            ),
+            watchdog: Watchdog::new(
+                cfg.control.watchdog_coverage_floor,
+                cfg.control.watchdog_recovery_slots,
+            ),
+        });
+        // Worst-case uniform cap: full-load CPU-bound occupancy on
+        // every server must fit the supplied budget.
+        let safe_pstate = hardened.then(|| {
+            UniformCapper::new(ServerPowerModel::paper_default()).state_for_budget(
+                budget.supply_w,
+                &vec![
+                    ServerLoad {
+                        utilization: 1.0,
+                        intensity: 1.0,
+                        gamma: 0.9,
+                    };
+                    cfg.servers
+                ],
+            )
+        });
+        let verify = hardened.then(|| {
+            ActuatorVerify::new(cfg.servers, cfg.control.actuator_max_retries, cfg.control_slot)
+        });
+        let learn = cfg.profiler.as_ref().map(|pc| learn::LearnStage {
+            engine: PowerProfiler::new(pc.clone()),
+            mix: MixTracker::new(cfg.servers),
+        });
+        let hierarchy = cfg.breaker.then(|| {
+            let rating = budget.supply_w * cfg.breaker_rating_factor;
+            PowerHierarchy::new(cfg.servers, 1, rating, rating, cfg.breaker_trip_delay)
+        });
+        let thermals = cfg
+            .thermal
+            .then(|| (0..cfg.servers).map(|_| ThermalNode::paper_default(start)).collect());
+        ControlPipeline {
+            sense: sense::SenseStage,
+            filter: filter::FilterStage { monitor, hardening },
+            learn,
+            decide: decide::DecideStage { scheme, safe_pstate },
+            act: act::ActStage { verify },
+            account: account::AccountStage::new(start, idle_power_w, hierarchy, thermals),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! **Sense** — telemetry acquisition (the inputs to the paper's power
+//! monitor, Fig. 12).
+//!
+//! Reads per-node power each control slot and packages it as a
+//! [`TelemetryFrame`]. Without a fault layer the stage passes the true
+//! aggregate through untouched; with one, every live node's sensor is
+//! read through [`FaultPlan::sense`], which may drop, freeze, lag, or
+//! perturb the reading.
+
+use super::TelemetryFrame;
+use crate::node::ComputeNode;
+use simcore::faults::FaultPlan;
+use simcore::SimTime;
+
+/// Stateless telemetry-acquisition stage.
+pub struct SenseStage;
+
+impl SenseStage {
+    /// Produce this slot's frame. `true_power_w` is the exact aggregate
+    /// the accountant integrates; per-node readings are collected only
+    /// when `fault` is present.
+    pub(crate) fn run(
+        &self,
+        now: SimTime,
+        nodes: &[ComputeNode],
+        node_dead: &[bool],
+        fault: Option<&mut FaultPlan>,
+        true_power_w: f64,
+    ) -> TelemetryFrame {
+        let readings = fault.map(|plan| {
+            // Dead nodes report a true zero without consuming
+            // fault-layer randomness, so the fault stream is stable
+            // across different crash schedules.
+            nodes
+                .iter()
+                .zip(node_dead.iter())
+                .enumerate()
+                .map(|(i, (n, &dead))| {
+                    if dead {
+                        Some(0.0)
+                    } else {
+                        plan.sense(now, i, n.power_w())
+                    }
+                })
+                .collect()
+        });
+        TelemetryFrame {
+            true_power_w,
+            readings,
+        }
+    }
+}

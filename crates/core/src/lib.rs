@@ -20,8 +20,12 @@
 //!   `Shaving`, `Token`, and `AntiDope` (PDF + RPM), behind one
 //!   [`scheme::PowerScheme`] trait.
 //! * [`cluster`] — [`cluster::ClusterSim`]: the discrete-event model
-//!   wiring sources → firewall → NLB → processor-sharing nodes, with the
-//!   power monitor / battery / DVFS control loop on 1 s slots.
+//!   wiring sources → firewall → NLB → processor-sharing nodes; event
+//!   dispatch and the dataplane live here.
+//! * [`control`] — the staged power control plane the simulator drives
+//!   once per 1 s slot: Sense → Filter → Learn → Decide → Act, with an
+//!   Account stage doing exact energy / thermal / breaker integration
+//!   (the paper's Fig. 12 pipeline made structural).
 //! * [`runner`] — one-call experiment execution and rayon-parallel
 //!   (scheme × budget × seed) sweeps.
 //! * [`results`] — [`results::SimReport`]: everything the paper's
@@ -36,6 +40,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod control;
 pub mod dpm;
 pub mod health;
 pub mod node;
@@ -44,10 +49,12 @@ pub mod request_control;
 pub mod results;
 pub mod runner;
 pub mod scheme;
+pub mod testutil;
 
 
 pub use cluster::ClusterSim;
-pub use config::{ClusterConfig, ConfigError, ExperimentConfig, SchemeKind};
+pub use config::{ClusterConfig, ConfigError, ControlPlaneConfig, ExperimentConfig, SchemeKind};
+pub use control::{ClusterView, ControlPipeline, TelemetryFrame};
 pub use health::{ActuatorVerify, TelemetryHealth, Watchdog};
 pub use node::ComputeNode;
 pub use results::{FaultReport, SimReport};

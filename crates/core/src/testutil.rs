@@ -1,0 +1,60 @@
+//! Shared experiment builders for tests and benches.
+//!
+//! One canonical copy of the scenario pieces that the unit tests, the
+//! workspace integration tests, and the benches all need: the standard
+//! normal-user population, the Colla-Filt http-load flood, and a
+//! short-window experiment config. Kept in the library (not a
+//! `tests/common` module) so both in-crate `#[cfg(test)]` code and
+//! external test binaries share byte-identical builders — the golden
+//! report harness depends on every caller constructing *exactly* the
+//! same sources.
+
+use crate::config::{ClusterConfig, ExperimentConfig, SchemeKind};
+use powercap::budget::BudgetLevel;
+use simcore::{SimDuration, SimTime};
+use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
+use workloads::attacker::{AttackTool, FloodSource};
+use workloads::normal::NormalUsers;
+use workloads::service::{ServiceKind, ServiceMix};
+use workloads::source::TrafficSource;
+
+/// The standard normal-user population: AliOS service mix over a small
+/// synthesized Alibaba utilization trace, 1000 users across 60 front
+/// ends, peaking at `peak_rate` requests/s.
+pub fn normal_source(seed: u64, horizon: SimTime, peak_rate: f64) -> Box<dyn TrafficSource> {
+    let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(seed));
+    Box::new(NormalUsers::new(
+        trace,
+        ServiceMix::alios_normal(),
+        peak_rate,
+        1000,
+        60,
+        0,
+        horizon,
+        seed,
+    ))
+}
+
+/// The standard flood: http-load against the Colla-Filt service at
+/// `rate` requests/s total, spread over 40 bots (stealthy per-source
+/// rates), active on `[start, stop)`.
+pub fn attack_source(seed: u64, rate: f64, start: SimTime, stop: SimTime) -> Box<dyn TrafficSource> {
+    Box::new(FloodSource::against_service(
+        AttackTool::HttpLoad { rate },
+        ServiceKind::CollaFilt,
+        50_000,
+        40,
+        1 << 40,
+        start,
+        stop,
+        seed,
+    ))
+}
+
+/// A paper-rack experiment shortened to `secs` — the standard cell for
+/// quick fixed-seed tests.
+pub fn quick_exp(scheme: SchemeKind, budget: BudgetLevel, secs: u64, seed: u64) -> ExperimentConfig {
+    let mut exp = ExperimentConfig::paper_window(ClusterConfig::paper_rack(budget), scheme, seed);
+    exp.duration = SimDuration::from_secs(secs);
+    exp
+}

@@ -34,6 +34,13 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Build a detached scheduler for exercising model logic outside an
+    /// [`Engine`] (e.g. unit tests of control-plane stages). Events
+    /// staged on a detached scheduler are dropped, never executed.
+    pub fn detached(now: SimTime) -> Self {
+        Scheduler::new(now)
+    }
+
     /// The current simulated instant.
     #[inline]
     pub fn now(&self) -> SimTime {

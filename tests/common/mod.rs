@@ -9,32 +9,20 @@ pub const NORMAL_PEAK_RATE: f64 = 80.0;
 
 /// Build the standard test scenario: AliOS normal users plus a
 /// Colla-Filt http-load flood at `attack_rate` starting at t = 5 s,
-/// spread over 40 bots (stealthy per-source rates).
+/// spread over 40 bots (stealthy per-source rates). The source builders
+/// themselves are the canonical ones in [`antidope::testutil`].
 pub fn scenario(attack_rate: f64) -> impl Fn(&ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
     move |exp: &ExperimentConfig| {
         let horizon = SimTime::ZERO + exp.duration;
-        let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
-        let mut sources: Vec<Box<dyn TrafficSource>> = vec![Box::new(NormalUsers::new(
-            trace,
-            ServiceMix::alios_normal(),
-            NORMAL_PEAK_RATE,
-            1_000,
-            60,
-            0,
-            horizon,
-            exp.seed,
-        ))];
+        let mut sources: Vec<Box<dyn TrafficSource>> =
+            vec![antidope::testutil::normal_source(exp.seed, horizon, NORMAL_PEAK_RATE)];
         if attack_rate > 0.0 {
-            sources.push(Box::new(FloodSource::against_service(
-                AttackTool::HttpLoad { rate: attack_rate },
-                ServiceKind::CollaFilt,
-                50_000,
-                40,
-                1 << 40,
+            sources.push(antidope::testutil::attack_source(
+                exp.seed ^ 0x5EED,
+                attack_rate,
                 SimTime::from_secs(5),
                 horizon,
-                exp.seed ^ 0x5EED,
-            )));
+            ));
         }
         sources
     }

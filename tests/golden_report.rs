@@ -1,0 +1,148 @@
+//! Golden-report regression harness.
+//!
+//! Three fixed-seed (scheme × budget) cells of the standard scenario are
+//! serialized in full to `tests/golden/*.json`. The test fails on *any*
+//! field drift — latency quantiles, energy joules, fault counters,
+//! everything `SimReport` carries — which pins the simulator bit-for-bit
+//! across refactors. The staged control-plane refactor (ISSUE 5) is
+//! behavior-preserving by construction because these snapshots were
+//! captured on the pre-refactor monolith and must stay byte-identical.
+//!
+//! Regenerating after an *intentional* behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_report
+//! ```
+//!
+//! then commit the rewritten `tests/golden/*.json` together with the
+//! change that justifies them.
+
+mod common;
+
+use antidope_repro::prelude::*;
+use common::{run_cell, run_profiled_chaos_cell};
+use std::path::PathBuf;
+
+/// One seed for every golden cell; picked once and never changed.
+const GOLDEN_SEED: u64 = 2019;
+
+/// Window length: long enough for the attack, throttling, battery and
+/// (in the chaos cell) crash/reboot/blackout machinery to all fire.
+const GOLDEN_DURATION_S: u64 = 90;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Stable rendering: the multi-line `Debug` form with a trailing
+/// newline, so drift diffs are per-field. `Debug` prints every field
+/// and formats floats in shortest-round-trip form, which makes the
+/// comparison bit-exact without depending on a serializer.
+fn render(report: &SimReport) -> String {
+    format!("{report:#?}\n")
+}
+
+fn check(name: &str, report: &SimReport) {
+    let path = golden_path(name);
+    let rendered = render(report);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with UPDATE_GOLDEN=1 cargo test --test golden_report",
+            path.display()
+        )
+    });
+    assert!(
+        golden == rendered,
+        "golden report `{name}` drifted.\n\
+         If the behavior change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test --test golden_report\n\
+         and commit the diff. First divergence:\n{}",
+        first_divergence(&golden, &rendered)
+    );
+}
+
+/// Point at the first differing line so drift is diagnosable without a
+/// manual diff of a multi-thousand-line JSON blob.
+fn first_divergence(golden: &str, got: &str) -> String {
+    for (i, (g, r)) in golden.lines().zip(got.lines()).enumerate() {
+        if g != r {
+            return format!("line {}:\n  golden: {g}\n  got:    {r}", i + 1);
+        }
+    }
+    format!(
+        "line count changed: golden {} lines, got {} lines",
+        golden.lines().count(),
+        got.lines().count()
+    )
+}
+
+/// The full fault mix + online profiler used by the chaos golden cell:
+/// every fault class fires, the watchdog engages during the blackout,
+/// a node crashes and reboots, and the profiler learns throughout.
+fn chaos_mix() -> FaultConfig {
+    FaultConfig {
+        sensor_dropout_p: 0.10,
+        sensor_noise_w: 2.0,
+        sensor_stuck_p: 0.01,
+        sensor_stale_p: 0.05,
+        blackouts: vec![(SimTime::from_secs(20), SimTime::from_secs(30))],
+        actuator_loss_p: 0.10,
+        actuator_delay_p: 0.10,
+        actuator_stuck_p: 0.02,
+        crashes: vec![CrashEvent {
+            node: 2,
+            at: SimTime::from_secs(15),
+        }],
+        reboot_after: SimDuration::from_secs(10),
+        battery_fade: 0.2,
+        charger_fails_at: Some(SimTime::from_secs(40)),
+        ..FaultConfig::default()
+    }
+}
+
+/// The clean Anti-DOPE path: PDF forwarding + RPM control + battery.
+#[test]
+fn golden_antidope_medium() {
+    let report = run_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Medium,
+        600.0,
+        GOLDEN_DURATION_S,
+        GOLDEN_SEED,
+    );
+    check("antidope_medium", &report);
+}
+
+/// Uniform capping at the tightest budget: deep DVFS, no battery use.
+#[test]
+fn golden_capping_low() {
+    let report = run_cell(
+        SchemeKind::Capping,
+        BudgetLevel::Low,
+        390.0,
+        GOLDEN_DURATION_S,
+        GOLDEN_SEED,
+    );
+    check("capping_low", &report);
+}
+
+/// The hardened path end to end: every fault class + telemetry
+/// filtering + watchdog + actuator read-back + online profiler.
+#[test]
+fn golden_antidope_low_chaos_profiled() {
+    let report = run_profiled_chaos_cell(
+        SchemeKind::AntiDope,
+        BudgetLevel::Low,
+        390.0,
+        GOLDEN_DURATION_S,
+        GOLDEN_SEED,
+        chaos_mix(),
+    );
+    check("antidope_low_chaos_profiled", &report);
+}

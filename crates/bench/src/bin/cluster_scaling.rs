@@ -1,0 +1,189 @@
+//! Cluster-scaling macro-benchmark: throughput of the sharded parallel
+//! engine against the legacy event-driven engine on a large cluster.
+//!
+//! ```text
+//! cluster_scaling [--quick] [--assert-speedup X] [--out FILE]
+//!
+//!   --quick            10 s horizon instead of 60 s (CI smoke)
+//!   --assert-speedup X exit non-zero unless the 4-shard engine beats
+//!                      the 1-shard (legacy) engine by at least X×
+//!   --out FILE         where to write the JSON record
+//!                      [default: BENCH_cluster.json]
+//! ```
+//!
+//! The scenario is a 1000-node cluster under a 100 000-user population
+//! plus the standard Colla-Filt flood, run at shard counts 1, 2, 4 and
+//! 8. `shards: 1` dispatches to the original event-driven engine —
+//! whose power accounting rescans all n nodes on every event — so the
+//! 1-shard row is the true baseline users get today. The sharded rows
+//! measure the data-oriented engine: O(1) incremental power sums,
+//! slot-batched control, and (with a real thread pool) parallel shard
+//! advancement. The headline metric is simulated requests per second of
+//! wall time.
+
+use antidope::config::{ClusterConfig, ExperimentConfig, SchemeKind};
+use antidope::results::SimReport;
+use antidope::run_experiment;
+use powercap::BudgetLevel;
+use simcore::{SimDuration, SimTime};
+use std::process::ExitCode;
+use std::time::Instant;
+use workloads::source::TrafficSource;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The 1000-node scaling cluster.
+fn big_cluster(shards: usize) -> ClusterConfig {
+    let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+    cluster.servers = 1000;
+    cluster.suspect_pool_size = 50;
+    cluster.shards = shards;
+    cluster
+}
+
+/// 100k-user population plus the standard flood.
+fn sources(exp: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+    let horizon = SimTime::ZERO + exp.duration;
+    let trace = workloads::alibaba::UtilizationTrace::synthesize(
+        &workloads::alibaba::AlibabaTraceConfig::small(exp.seed),
+    );
+    vec![
+        Box::new(workloads::normal::NormalUsers::new(
+            trace,
+            workloads::service::ServiceMix::alios_normal(),
+            2_000.0, // cluster-wide peak req/s
+            1_000,   // client address base
+            100_000, // distinct clients
+            0,
+            horizon,
+            exp.seed,
+        )),
+        Box::new(workloads::attacker::FloodSource::against_service(
+            workloads::attacker::AttackTool::HttpLoad { rate: 1_000.0 },
+            workloads::service::ServiceKind::CollaFilt,
+            500_000, // botnet address base
+            200,     // bots (stealthy per-source rates)
+            1 << 40,
+            SimTime::from_secs(2),
+            horizon,
+            exp.seed ^ 0x5EED,
+        )),
+    ]
+}
+
+struct Row {
+    shards: usize,
+    wall_s: f64,
+    offered: u64,
+    events: u64,
+    req_per_s: f64,
+    speedup: f64,
+}
+
+fn run_once(shards: usize, secs: u64, seed: u64) -> (f64, SimReport) {
+    let mut exp = ExperimentConfig::paper_window(big_cluster(shards), SchemeKind::AntiDope, seed);
+    exp.duration = SimDuration::from_secs(secs);
+    exp.label = format!("cluster-scaling-{shards}shard");
+    let t0 = Instant::now();
+    let report = run_experiment(&exp, &sources);
+    (t0.elapsed().as_secs_f64(), report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut assert_speedup: Option<f64> = None;
+    let mut out = String::from("BENCH_cluster.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--assert-speedup" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--assert-speedup needs a number");
+                    return ExitCode::FAILURE;
+                };
+                assert_speedup = Some(v);
+            }
+            "--out" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out = v.clone();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let secs = if quick { 10 } else { 60 };
+    let seed = 2019u64;
+    println!(
+        "cluster_scaling: 1000 nodes, 100k users + flood, {secs} s horizon, shards {SHARD_COUNTS:?}\n"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base_rps = 0.0;
+    for &shards in &SHARD_COUNTS {
+        let (wall_s, report) = run_once(shards, secs, seed);
+        let req_per_s = report.traffic.offered as f64 / wall_s.max(1e-9);
+        if shards == 1 {
+            base_rps = req_per_s;
+        }
+        let speedup = req_per_s / base_rps.max(1e-9);
+        println!(
+            "  shards={shards:<2} wall {wall_s:>7.2} s  offered {:>8}  events {:>9}  {:>10.0} req/s  ({speedup:.2}x)",
+            report.traffic.offered, report.events, req_per_s
+        );
+        rows.push(Row {
+            shards,
+            wall_s,
+            offered: report.traffic.offered,
+            events: report.events,
+            req_per_s,
+            speedup,
+        });
+    }
+
+    let results: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"shards\": {},\n      \"wall_s\": {:.3},\n      \"offered_requests\": {},\n      \"events\": {},\n      \"simulated_requests_per_sec\": {:.0},\n      \"speedup_vs_1_shard\": {:.2}\n    }}",
+                r.shards, r.wall_s, r.offered, r.events, r.req_per_s, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_scaling\",\n  \"description\": \"End-to-end simulated-requests/sec on a 1000-node, 100k-user, flood-attacked cluster at increasing shard counts. shards=1 is the legacy event-driven engine (O(n) power rescan per event); shards>1 is the sharded data-oriented engine (O(1) incremental power sums, slot-batched control, per-shard event loops that a multi-core thread pool advances in parallel).\",\n  \"scenario\": \"1000 x 100 W nodes, Medium-PB, Anti-DOPE scheme, 2000 req/s normal peak over 100k clients + 1000 req/s Colla-Filt flood over 200 bots, {secs} s horizon, seed {seed}\",\n  \"harness\": \"cargo run --release -p dope-bench --bin cluster_scaling{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        if quick { " -- --quick" } else { "" },
+        results.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+
+    if let Some(min) = assert_speedup {
+        let four = rows
+            .iter()
+            .find(|r| r.shards == 4)
+            .expect("4-shard row always runs");
+        if four.speedup < min {
+            eprintln!(
+                "FAIL: 4-shard speedup {:.2}x below required {min:.2}x",
+                four.speedup
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("speedup gate passed: {:.2}x >= {min:.2}x at 4 shards", four.speedup);
+    }
+    ExitCode::SUCCESS
+}

@@ -48,6 +48,18 @@ pub enum ConfigError {
     Fault(FaultError),
     /// The online-profiler configuration was invalid.
     Profiler(ProfilerConfigError),
+    /// The shard count must stay within `1..=servers` so every shard
+    /// owns at least one node.
+    Shards {
+        /// Configured shard count.
+        shards: usize,
+        /// Configured server count.
+        servers: usize,
+    },
+    /// Deterministic fault injection is only supported by the
+    /// single-threaded engine (`shards: 1`): fault randomness is drawn
+    /// in global event order, which sharded execution does not preserve.
+    ShardedFaults,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -70,6 +82,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::Fault(e) => write!(f, "fault plan: {e}"),
             ConfigError::Profiler(e) => write!(f, "profiler: {e}"),
+            ConfigError::Shards { shards, servers } => write!(
+                f,
+                "shard count {shards} must be in 1..={servers} (one node per shard minimum)"
+            ),
+            ConfigError::ShardedFaults => {
+                write!(f, "fault injection requires the single-threaded engine (shards: 1)")
+            }
         }
     }
 }
@@ -245,6 +264,19 @@ pub struct ClusterConfig {
     /// hard-coded values.
     #[serde(default)]
     pub control: ControlPlaneConfig,
+    /// Dataplane shard count. `1` (the default) runs the original
+    /// single-threaded engine; `N > 1` partitions the nodes across `N`
+    /// shards that advance a control slot independently and synchronize
+    /// at slot boundaries (see [`crate::shard`]).
+    #[serde(default = "default_shards")]
+    pub shards: usize,
+}
+
+/// Serde default for [`ClusterConfig::shards`]: the single-threaded
+/// engine, which is byte-identical to configs written before the field
+/// existed.
+fn default_shards() -> usize {
+    1
 }
 
 impl ClusterConfig {
@@ -271,6 +303,7 @@ impl ClusterConfig {
             faults: None,
             profiler: None,
             control: ControlPlaneConfig::default(),
+            shards: default_shards(),
         }
     }
 
@@ -328,6 +361,15 @@ impl ClusterConfig {
             return Err(ConfigError::ZeroDuration {
                 what: "battery_sustain",
             });
+        }
+        if self.shards < 1 || self.shards > self.servers {
+            return Err(ConfigError::Shards {
+                shards: self.shards,
+                servers: self.servers,
+            });
+        }
+        if self.shards > 1 && self.faults.is_some() {
+            return Err(ConfigError::ShardedFaults);
         }
         self.control.validate()?;
         if let Some(f) = &self.faults {
@@ -504,6 +546,40 @@ mod tests {
         let c = ClusterConfig::scaled(BudgetLevel::High);
         assert_eq!(c.servers, 16);
         assert_eq!(c.suspect_pool_size, 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_shard_bounds() {
+        let mut c = ClusterConfig::scaled(BudgetLevel::Medium);
+        assert_eq!(c.shards, 1, "default is the single-threaded engine");
+        for shards in [1, 2, 4, 16] {
+            c.shards = shards;
+            c.validate().unwrap();
+        }
+        c.shards = 0;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::Shards { shards: 0, servers: 16 }
+        ));
+        c.shards = 17;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::Shards { shards: 17, servers: 16 }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_sharded_faults() {
+        let mut c = ClusterConfig::scaled(BudgetLevel::Medium);
+        c.shards = 4;
+        c.faults = Some(FaultConfig::default());
+        assert!(matches!(c.validate().unwrap_err(), ConfigError::ShardedFaults));
+        // Either alone is fine.
+        c.shards = 1;
+        c.validate().unwrap();
+        c.shards = 4;
+        c.faults = None;
         c.validate().unwrap();
     }
 }

@@ -102,6 +102,21 @@ impl AccountStage {
             .zip(node_dead)
             .map(|(n, &dead)| if dead { 0.0 } else { n.power_w() })
             .sum();
+        self.sync_power_total(now, total, flows);
+    }
+
+    /// Meter-update half of [`Self::sync_power`] for callers that
+    /// already know the aggregate draw. The sharded engine maintains the
+    /// per-node power column incrementally and hands the slot-boundary
+    /// total straight in, skipping the O(nodes) rescan.
+    pub(crate) fn sync_power_total(&mut self, now: SimTime, total: f64, flows: &BatteryFlows) {
+        if self.outage_at.is_some() {
+            self.cluster_power_w = 0.0;
+            self.meter.set_power(now, EnergySource::Utility, 0.0);
+            self.meter.set_power(now, EnergySource::Battery, 0.0);
+            self.meter.set_power(now, EnergySource::BatteryCharge, 0.0);
+            return;
+        }
         self.cluster_power_w = total;
         let utility = (total - flows.discharge_w).max(0.0) + flows.charge_w;
         self.meter.set_power(now, EnergySource::Utility, utility);
@@ -116,16 +131,20 @@ impl AccountStage {
     /// hardware path, not a control command); a critical trip is
     /// returned for the driver to kill the node (the cooling layer of
     /// the DOPE threat).
+    /// Trips are appended to `tripped`, a caller-owned scratch buffer
+    /// that is cleared here so the steady-state slot path allocates
+    /// nothing.
     pub(crate) fn advance_thermals(
         &mut self,
         now: SimTime,
         nodes: &mut [ComputeNode],
         node_dead: &[bool],
         sched: &mut Scheduler<Ev>,
-    ) -> Vec<usize> {
-        let mut tripped = Vec::new();
+        tripped: &mut Vec<usize>,
+    ) {
+        tripped.clear();
         let Some(thermals) = self.thermals.as_mut() else {
-            return tripped;
+            return;
         };
         for (i, th) in thermals.iter_mut().enumerate() {
             if node_dead[i] {
@@ -152,7 +171,6 @@ impl AccountStage {
                 _ => {}
             }
         }
-        tripped
     }
 
     /// Feed the breaker what the utility actually carries; returns true
@@ -187,17 +205,29 @@ impl AccountStage {
     /// End-of-slot bookkeeping: record the power / SoC series and the
     /// V/F reduction statistics.
     pub(crate) fn record_slot(&mut self, now: SimTime, nodes: &[ComputeNode], battery_soc: f64) {
-        self.power_series.record(now, self.cluster_power_w);
-        self.battery_series.record(now, battery_soc);
         let mean_vf = nodes
             .iter()
             .map(|n| n.vf_reduction_steps() as f64)
             .sum::<f64>()
             / nodes.len() as f64;
+        let max_vf = nodes.iter().map(|n| n.vf_reduction_steps()).max().unwrap_or(0);
+        self.record_slot_stats(now, mean_vf, max_vf, battery_soc);
+    }
+
+    /// Series half of [`Self::record_slot`] for callers that computed
+    /// the V/F statistics themselves (the sharded engine scans its
+    /// data-oriented V/F column instead of walking the node structs).
+    pub(crate) fn record_slot_stats(
+        &mut self,
+        now: SimTime,
+        mean_vf: f64,
+        max_vf: u8,
+        battery_soc: f64,
+    ) {
+        self.power_series.record(now, self.cluster_power_w);
+        self.battery_series.record(now, battery_soc);
         self.vf_summary.record(mean_vf);
-        self.max_vf = self
-            .max_vf
-            .max(nodes.iter().map(|n| n.vf_reduction_steps()).max().unwrap_or(0));
+        self.max_vf = self.max_vf.max(max_vf);
     }
 
     /// Dark data center: record the flatline so the report covers the
@@ -208,5 +238,46 @@ impl AccountStage {
         self.meter.set_power(now, EnergySource::Utility, 0.0);
         self.meter.set_power(now, EnergySource::Battery, 0.0);
         self.meter.set_power(now, EnergySource::BatteryCharge, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    /// The thermal pass must reuse the caller-owned trip scratch: with
+    /// capacity for every node pre-reserved, no slot may reallocate it,
+    /// even in the slot where every node trips.
+    #[test]
+    fn thermal_scratch_is_reused_without_reallocation() {
+        let start = SimTime::ZERO;
+        let n = 4;
+        let mut nodes: Vec<ComputeNode> = (0..n)
+            .map(|_| ComputeNode::new(start, 4, 32, SimDuration::from_secs(1)))
+            .collect();
+        // 2 °C/W against ~55 W idle draw: steady state far above the
+        // 95 °C critical line, so every node trips within a few τ.
+        let thermals: Vec<ThermalNode> = (0..n)
+            .map(|_| {
+                ThermalNode::new(start, 25.0, 2.0, SimDuration::from_secs(10), 75.0, 70.0, 95.0)
+            })
+            .collect();
+        let mut stage = AccountStage::new(start, 0.0, None, Some(thermals));
+        let mut node_dead = vec![false; n];
+        let mut tripped: Vec<usize> = Vec::with_capacity(n);
+        let ptr = tripped.as_ptr();
+        let mut total_trips = 0usize;
+        for s in 1..=60u64 {
+            let now = SimTime::from_secs(s);
+            let mut sched = Scheduler::detached(now);
+            stage.advance_thermals(now, &mut nodes, &node_dead, &mut sched, &mut tripped);
+            total_trips += tripped.len();
+            assert_eq!(tripped.as_ptr(), ptr, "slot {s} reallocated the trip scratch");
+            for &i in &tripped {
+                node_dead[i] = true; // the driver kills tripped nodes
+            }
+        }
+        assert_eq!(total_trips, n, "every node trips exactly once in this rig");
     }
 }

@@ -38,6 +38,9 @@ pub(crate) struct ActCtx<'a> {
 pub struct ActStage {
     /// Read-back verifier, present only under fault injection.
     pub verify: Option<ActuatorVerify>,
+    /// Recycled retry list for [`Self::sweep`] — cleared every pass so
+    /// the steady-state slot path allocates nothing.
+    pub(crate) retry_scratch: Vec<(usize, PState)>,
 }
 
 impl ActStage {
@@ -56,29 +59,32 @@ impl ActStage {
         let Some(verify) = self.verify.as_mut() else {
             return;
         };
-        let retries: Vec<(usize, PState)> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !node_dead[*i])
-            .filter_map(|(i, n)| match verify.check(i, n.target_pstate(), now) {
-                VerifyOutcome::Retry(target) => Some((i, target)),
-                _ => None,
-            })
-            .collect();
-        for (node, target) in retries {
-            issue_pstate(now, node, target, nodes, Some(fault), sched);
+        self.retry_scratch.clear();
+        self.retry_scratch.extend(
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !node_dead[*i])
+                .filter_map(|(i, n)| match verify.check(i, n.target_pstate(), now) {
+                    VerifyOutcome::Retry(target) => Some((i, target)),
+                    _ => None,
+                }),
+        );
+        for &(node, target) in &self.retry_scratch {
+            issue_pstate(now, node, target, nodes, Some(&mut *fault), sched);
         }
     }
 
-    /// Enact one slot's action plan.
+    /// Enact one slot's action plan, draining `actions` (a recycled
+    /// per-slot buffer owned by the pipeline) in the process.
     pub(crate) fn enact(
         &mut self,
         now: SimTime,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
         mut ctx: ActCtx<'_>,
         sched: &mut Scheduler<Ev>,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::SetPState { node, target } => {
                     if ctx.fault.is_some() && ctx.node_dead[node] {
@@ -208,6 +214,7 @@ mod tests {
         let max_retries = 3u8;
         let mut stage = ActStage {
             verify: Some(ActuatorVerify::new(1, max_retries, SimDuration::from_secs(1))),
+            retry_scratch: Vec::new(),
         };
         let mut nodes = vec![node()];
         let node_dead = vec![false];
@@ -220,7 +227,7 @@ mod tests {
         let mut sched = Scheduler::detached(SimTime::ZERO);
         stage.enact(
             SimTime::ZERO,
-            vec![Action::SetPState {
+            &mut vec![Action::SetPState {
                 node: 0,
                 target: PState(4),
             }],
@@ -260,6 +267,7 @@ mod tests {
     fn confirmed_actuation_needs_no_retry() {
         let mut stage = ActStage {
             verify: Some(ActuatorVerify::new(1, 3, SimDuration::from_secs(1))),
+            retry_scratch: Vec::new(),
         };
         let mut nodes = vec![node()];
         let node_dead = vec![false];
@@ -269,7 +277,7 @@ mod tests {
         // No fault layer: the command lands cleanly.
         stage.enact(
             SimTime::ZERO,
-            vec![Action::SetPState {
+            &mut vec![Action::SetPState {
                 node: 0,
                 target: PState(4),
             }],

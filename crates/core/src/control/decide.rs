@@ -24,6 +24,10 @@ pub struct DecideStage {
     /// full-load CPU-bound occupancy at the supplied budget. Present
     /// only when a fault plan (and thus the watchdog) is configured.
     pub safe_pstate: Option<PState>,
+    /// Recycled [`NodeSnapshot`] buffer: loaned to [`ControlInput`] each
+    /// slot and taken back afterwards, so steady-state slots build the
+    /// scheme's view without allocating.
+    pub(crate) snapshot_scratch: Vec<NodeSnapshot>,
 }
 
 impl DecideStage {
@@ -47,27 +51,26 @@ impl DecideStage {
         actions: &mut Vec<Action>,
     ) {
         let (_, suspect_pool) = crate::pdf::partition_pools(cfg.servers, cfg.suspect_pool_size);
+        let mut snaps = std::mem::take(&mut self.snapshot_scratch);
+        snaps.clear();
+        snaps.extend(nodes.iter().enumerate().map(|(i, n)| {
+            let (u, ints, g) = n.load_character();
+            NodeSnapshot {
+                utilization: u,
+                intensity: ints,
+                gamma: g,
+                beta: n.mean_beta(),
+                target: n.target_pstate(),
+                suspect: suspect_pool.contains(&i),
+                inflight: n.inflight(),
+            }
+        }));
         let input = ControlInput {
             now,
             supply_w,
             demand_w: view.observed_w,
             condition: view.condition,
-            nodes: nodes
-                .iter()
-                .enumerate()
-                .map(|(i, n)| {
-                    let (u, ints, g) = n.load_character();
-                    NodeSnapshot {
-                        utilization: u,
-                        intensity: ints,
-                        gamma: g,
-                        beta: n.mean_beta(),
-                        target: n.target_pstate(),
-                        suspect: suspect_pool.contains(&i),
-                        inflight: n.inflight(),
-                    }
-                })
-                .collect(),
+            nodes: snaps,
             battery_soc: battery.soc(),
             battery_stored_j: battery.stored_j(),
             battery_max_discharge_w: cfg.aggregate_nameplate_w(),
@@ -94,6 +97,76 @@ impl DecideStage {
             }
         } else {
             self.scheme.control(&input, actions);
+        }
+        self.snapshot_scratch = input.nodes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeKind;
+    use powercap::budget::BudgetLevel;
+    use powercap::monitor::PowerCondition;
+    use simcore::SimDuration;
+
+    /// The snapshot buffer loaned to `ControlInput` must come back and
+    /// be reused: after the first slot sizes it, no later slot with the
+    /// same cluster may reallocate it.
+    #[test]
+    fn snapshot_scratch_is_reused_across_slots() {
+        let cfg = ClusterConfig::paper_rack(BudgetLevel::Medium);
+        let scheme = crate::scheme::build_scheme(SchemeKind::AntiDope, &cfg);
+        let mut stage = DecideStage {
+            scheme,
+            safe_pstate: None,
+            snapshot_scratch: Vec::new(),
+        };
+        let nodes: Vec<ComputeNode> = (0..cfg.servers)
+            .map(|_| ComputeNode::new(SimTime::ZERO, 4, 32, SimDuration::from_secs(1)))
+            .collect();
+        let node_dead = vec![false; cfg.servers];
+        let battery =
+            Battery::sized_for(SimTime::ZERO, cfg.aggregate_nameplate_w(), cfg.battery_sustain);
+        let flows = BatteryFlows::default();
+        let view = ClusterView {
+            condition: PowerCondition::Emergency,
+            observed_w: 500.0,
+            coverage: 1.0,
+            watchdog_engaged: false,
+        };
+        let mut actions = Vec::new();
+        stage.run(
+            SimTime::from_secs(1),
+            &view,
+            cfg.supply_w(),
+            &cfg,
+            &nodes,
+            &node_dead,
+            &battery,
+            &flows,
+            &mut actions,
+        );
+        assert_eq!(stage.snapshot_scratch.len(), cfg.servers);
+        let ptr = stage.snapshot_scratch.as_ptr();
+        for s in 2..8u64 {
+            actions.clear();
+            stage.run(
+                SimTime::from_secs(s),
+                &view,
+                cfg.supply_w(),
+                &cfg,
+                &nodes,
+                &node_dead,
+                &battery,
+                &flows,
+                &mut actions,
+            );
+            assert_eq!(
+                stage.snapshot_scratch.as_ptr(),
+                ptr,
+                "slot {s} reallocated the snapshot scratch"
+            );
         }
     }
 }

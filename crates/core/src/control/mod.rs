@@ -43,7 +43,7 @@ pub mod sense;
 
 use crate::config::ClusterConfig;
 use crate::health::{ActuatorVerify, TelemetryHealth, Watchdog};
-use crate::scheme::PowerScheme;
+use crate::scheme::{Action, PowerScheme};
 use powercap::budget::PowerBudget;
 use powercap::capper::{ServerLoad, UniformCapper};
 use powercap::monitor::PowerCondition;
@@ -143,6 +143,10 @@ pub struct ControlPipeline {
     pub act: act::ActStage,
     /// Energy / thermal / breaker integration.
     pub account: account::AccountStage,
+    /// Recycled per-slot action plan: filled by Decide, drained by Act.
+    pub actions: Vec<Action>,
+    /// Recycled thermal-trip list for the accountant's slot pass.
+    pub tripped: Vec<usize>,
 }
 
 impl ControlPipeline {
@@ -201,12 +205,21 @@ impl ControlPipeline {
             .thermal
             .then(|| (0..cfg.servers).map(|_| ThermalNode::paper_default(start)).collect());
         ControlPipeline {
-            sense: sense::SenseStage,
+            sense: sense::SenseStage::default(),
             filter: filter::FilterStage { monitor, hardening },
             learn,
-            decide: decide::DecideStage { scheme, safe_pstate },
-            act: act::ActStage { verify },
+            decide: decide::DecideStage {
+                scheme,
+                safe_pstate,
+                snapshot_scratch: Vec::new(),
+            },
+            act: act::ActStage {
+                verify,
+                retry_scratch: Vec::new(),
+            },
             account: account::AccountStage::new(start, idle_power_w, hierarchy, thermals),
+            actions: Vec::new(),
+            tripped: Vec::new(),
         }
     }
 }

@@ -6,21 +6,30 @@
 //! aggregate through untouched; with one, every live node's sensor is
 //! read through [`FaultPlan::sense`], which may drop, freeze, lag, or
 //! perturb the reading.
+//!
+//! The per-node readings vector is recycled between slots: the driver
+//! hands the frame back through `SenseStage::recycle` once the
+//! downstream stages are done with it, so steady-state slots perform no
+//! heap allocation.
 
 use super::TelemetryFrame;
 use crate::node::ComputeNode;
 use simcore::faults::FaultPlan;
 use simcore::SimTime;
 
-/// Stateless telemetry-acquisition stage.
-pub struct SenseStage;
+/// Telemetry-acquisition stage. Holds only a recycled readings buffer.
+#[derive(Default)]
+pub struct SenseStage {
+    /// Readings buffer returned by [`Self::recycle`], reused next slot.
+    scratch: Vec<Option<f64>>,
+}
 
 impl SenseStage {
     /// Produce this slot's frame. `true_power_w` is the exact aggregate
     /// the accountant integrates; per-node readings are collected only
     /// when `fault` is present.
     pub(crate) fn run(
-        &self,
+        &mut self,
         now: SimTime,
         nodes: &[ComputeNode],
         node_dead: &[bool],
@@ -28,25 +37,96 @@ impl SenseStage {
         true_power_w: f64,
     ) -> TelemetryFrame {
         let readings = fault.map(|plan| {
+            let mut buf = std::mem::take(&mut self.scratch);
+            buf.clear();
             // Dead nodes report a true zero without consuming
             // fault-layer randomness, so the fault stream is stable
             // across different crash schedules.
-            nodes
-                .iter()
-                .zip(node_dead.iter())
-                .enumerate()
-                .map(|(i, (n, &dead))| {
-                    if dead {
-                        Some(0.0)
-                    } else {
-                        plan.sense(now, i, n.power_w())
-                    }
-                })
-                .collect()
+            buf.extend(
+                nodes
+                    .iter()
+                    .zip(node_dead.iter())
+                    .enumerate()
+                    .map(|(i, (n, &dead))| {
+                        if dead {
+                            Some(0.0)
+                        } else {
+                            plan.sense(now, i, n.power_w())
+                        }
+                    }),
+            );
+            buf
         });
         TelemetryFrame {
             true_power_w,
             readings,
+        }
+    }
+
+    /// Take the readings buffer back for reuse next slot. Dropping the
+    /// frame instead is harmless — the next `run` simply reallocates.
+    pub(crate) fn recycle(&mut self, frame: TelemetryFrame) {
+        if let Some(buf) = frame.readings {
+            self.scratch = buf;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::faults::FaultConfig;
+    use simcore::rng::RngFactory;
+    use simcore::SimDuration;
+
+    #[test]
+    fn fault_free_frame_carries_no_readings_vector() {
+        let nodes = vec![ComputeNode::new(SimTime::ZERO, 4, 32, SimDuration::from_secs(1))];
+        let mut stage = SenseStage::default();
+        let frame = stage.run(SimTime::from_secs(1), &nodes, &[false], None, 55.0);
+        assert!(frame.readings.is_none(), "no fault layer, no allocation");
+        assert_eq!(frame.true_power_w, 55.0);
+    }
+
+    #[test]
+    fn readings_buffer_is_reused_across_slots() {
+        let n = 8;
+        let nodes: Vec<ComputeNode> = (0..n)
+            .map(|_| ComputeNode::new(SimTime::ZERO, 4, 32, SimDuration::from_secs(1)))
+            .collect();
+        let node_dead = vec![false; n];
+        let mut plan = FaultPlan::new(
+            FaultConfig::default(),
+            n,
+            RngFactory::new(3).stream(simcore::rng::streams::FAULTS),
+        )
+        .unwrap();
+        let mut stage = SenseStage::default();
+        let frame = stage.run(
+            SimTime::from_secs(1),
+            &nodes,
+            &node_dead,
+            Some(&mut plan),
+            0.0,
+        );
+        let ptr = frame.readings.as_ref().expect("fault layer present").as_ptr();
+        stage.recycle(frame);
+        for s in 2..10u64 {
+            let frame = stage.run(
+                SimTime::from_secs(s),
+                &nodes,
+                &node_dead,
+                Some(&mut plan),
+                0.0,
+            );
+            let readings = frame.readings.as_ref().expect("fault layer present");
+            assert_eq!(readings.len(), n);
+            assert_eq!(
+                readings.as_ptr(),
+                ptr,
+                "slot {s} reallocated the recycled readings buffer"
+            );
+            stage.recycle(frame);
         }
     }
 }

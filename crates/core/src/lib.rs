@@ -26,7 +26,13 @@
 //!   once per 1 s slot: Sense → Filter → Learn → Decide → Act, with an
 //!   Account stage doing exact energy / thermal / breaker integration
 //!   (the paper's Fig. 12 pipeline made structural).
-//! * [`runner`] — one-call experiment execution and rayon-parallel
+//! * [`shard`] — [`shard::ShardedClusterSim`]: the sharded parallel
+//!   engine for large clusters — dataplane shards with data-oriented
+//!   (struct-of-arrays) node state advance each control slot in
+//!   parallel and synchronize at slot boundaries, driving the exact
+//!   same control-plane stages.
+//! * [`runner`] — one-call experiment execution (dispatching on
+//!   `cluster.shards` between the two engines) and rayon-parallel
 //!   (scheme × budget × seed) sweeps.
 //! * [`results`] — [`results::SimReport`]: everything the paper's
 //!   figures need, serializable to JSON.
@@ -49,6 +55,7 @@ pub mod request_control;
 pub mod results;
 pub mod runner;
 pub mod scheme;
+pub mod shard;
 pub mod testutil;
 
 
@@ -59,5 +66,6 @@ pub use health::{ActuatorVerify, TelemetryHealth, Watchdog};
 pub use node::ComputeNode;
 pub use results::{FaultReport, SimReport};
 pub use runner::{run_experiment, run_matrix};
+pub use shard::ShardedClusterSim;
 
 

@@ -9,6 +9,7 @@
 use crate::cluster::ClusterSim;
 use crate::config::{ClusterConfig, ExperimentConfig, SchemeKind};
 use crate::results::SimReport;
+use crate::shard::ShardedClusterSim;
 use powercap::BudgetLevel;
 use rayon::prelude::*;
 use workloads::source::TrafficSource;
@@ -33,9 +34,16 @@ where
     }
 }
 
-/// Run one experiment to completion.
+/// Run one experiment to completion, dispatching on `cluster.shards`:
+/// `shards: 1` (the default) runs the original event-driven
+/// [`ClusterSim`] byte-for-byte; `shards > 1` runs the sharded parallel
+/// engine.
 pub fn run_experiment(exp: &ExperimentConfig, factory: &dyn SourceFactory) -> SimReport {
-    ClusterSim::run(exp, factory.build(exp))
+    if exp.cluster.shards > 1 {
+        ShardedClusterSim::run(exp, factory.build(exp))
+    } else {
+        ClusterSim::run(exp, factory.build(exp))
+    }
 }
 
 /// A progress event from a streaming sweep.

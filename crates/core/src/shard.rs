@@ -1,0 +1,1145 @@
+//! Sharded parallel cluster engine with data-oriented node state.
+//!
+//! [`ClusterSim`](crate::cluster::ClusterSim) interleaves every event in
+//! one global queue and rescans all `n` nodes on every power-changing
+//! event, which caps throughput on large clusters. This module trades a
+//! little event-ordering generality for locality and parallelism:
+//!
+//! * **Sharding** — the nodes are partitioned into `shards` contiguous,
+//!   near-even slices. Within one control slot `(t0, t1]` each shard
+//!   advances its own dataplane (arrivals, PS-queue completions, DVFS
+//!   settles) independently; shards only exchange state at slot
+//!   boundaries, a conservative synchronization that is safe because
+//!   nothing couples nodes *between* boundaries — routing, control
+//!   decisions, battery flows, and breaker state are all slot-scoped.
+//! * **Data-oriented node state** — each shard mirrors its nodes' hot
+//!   fields (power draw, in-flight count, V/F reduction) into
+//!   struct-of-arrays columns, updated in O(1) per event. The slot
+//!   boundary aggregates power and V/F statistics with tight flat scans
+//!   over the columns instead of walking node structs, and energy is
+//!   integrated from an incrementally-maintained per-shard power sum —
+//!   O(1) per event where the legacy engine pays O(n).
+//!
+//! One slot cycle:
+//!
+//! ```text
+//! phase A (seq): merged sources ─► firewall ─► admit ─► NLB route
+//!                          └──► per-shard arrival inboxes
+//! phase B (par): shard event loops (arrive/complete/settle) + SoA
+//! phase C (seq): outbox drain ─► Sense ─► Filter ─► Learn ─► Decide
+//!                ─► Act ─► Account  (byte-identical stage code)
+//! ```
+//!
+//! # Determinism contract
+//!
+//! * Same seed + same shard layout ⇒ identical [`SimReport`]s: nothing
+//!   in the cycle depends on thread scheduling — phase B shards touch
+//!   disjoint state and phase C drains them in shard-index order.
+//! * Across *different* shard counts, reports are comparable but not
+//!   bit-identical: every discrete count (offered, blocked, denied,
+//!   rejected, SLA outcomes, breaker trips) is conserved exactly because
+//!   the slot-boundary power aggregate is computed by one flat scan in
+//!   global node order (independent of the partition) and all control
+//!   decisions derive from it; only energy integrals may differ in the
+//!   last float bits, since per-shard accumulation groups additions
+//!   differently.
+//! * `shards: 1` configs never reach this engine — the dispatcher in
+//!   [`crate::runner`] keeps them on the original event-driven
+//!   [`ClusterSim`](crate::cluster::ClusterSim), byte-for-byte.
+//!
+//! # Deliberate semantic deltas vs. the event-driven engine
+//!
+//! * NLB load estimates refresh once per slot (plus LeastLoaded's
+//!   optimistic increments) instead of per event.
+//! * Perimeter feedback (firewall blocks, admission denials) is
+//!   delivered inline during phase A; completion/queue-rejection
+//!   feedback is delivered at the closing slot boundary, in
+//!   `(time, source)` order.
+//! * The battery integrates at slot boundaries; the mid-slot
+//!   `BatteryBound` event is unnecessary because [`Battery::advance`]
+//!   clamps at empty/full itself — only the metering granularity
+//!   changes, not the stored energy.
+//! * Fault injection is rejected by validation (`shards > 1` +
+//!   `faults` ⇒ [`ConfigError::ShardedFaults`](crate::config::ConfigError)):
+//!   fault randomness is drawn in global event order, which sharding
+//!   does not preserve.
+
+use crate::config::ExperimentConfig;
+use crate::control::act::ActCtx;
+use crate::control::{BatteryFlows, ControlPipeline};
+use crate::node::ComputeNode;
+use crate::results::{
+    BatteryReport, EnergyReport, LatencySummary, PowerReport, SimReport, ThermalReport,
+    TrafficReport, VfReport,
+};
+use crate::scheme::{self, PowerScheme};
+use crate::{cluster::Ev, config::ClusterConfig};
+use dcmetrics::availability::RequestOutcome;
+use dcmetrics::{LatencyHistogram, SlaTracker, TimeSeries};
+use netsim::firewall::{Firewall, FirewallConfig, FirewallVerdict};
+use netsim::nlb::Nlb;
+use netsim::queueing::PushOutcome;
+use netsim::request::{Request, RequestId, UrlId};
+use powercap::battery::{Battery, BatteryMode};
+use powercap::budget::PowerBudget;
+use rayon::prelude::*;
+use simcore::fxhash::FxHashMap;
+use simcore::rng::RngFactory;
+use simcore::{Scheduler, SimTime};
+use std::collections::{BinaryHeap, VecDeque};
+use workloads::fanout::MergedSources;
+use workloads::source::{SourceEvent, TrafficSource};
+
+/// Shard-local events (node indices are shard-local).
+#[derive(Debug)]
+enum ShardEv {
+    /// Predicted completion (valid only at the stamped queue epoch).
+    Complete {
+        node: usize,
+        epoch: u64,
+        id: RequestId,
+    },
+    /// A DVFS transition settles.
+    DvfsSettle { node: usize },
+}
+
+/// Heap entry ordered by `(time, seq)`; `seq` makes the order total and
+/// insertion-stable, so shard replay is deterministic.
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    ev: ShardEv,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Learn-stage hook replay, drained at the slot boundary (node indices
+/// are global). The hooks are counters, so replay order is irrelevant.
+#[derive(Debug, Clone, Copy)]
+enum LearnEvt {
+    Dispatch { node: usize, url: UrlId },
+    Complete { node: usize, url: UrlId },
+}
+
+/// One dataplane shard: a contiguous slice of the cluster's nodes, its
+/// own event queues, RNG stream space, metrics, and the data-oriented
+/// (struct-of-arrays) mirror of the hot per-node fields.
+pub struct Shard {
+    /// Global index of this shard's first node.
+    start: usize,
+    /// Hot column: per-node power draw, watts (0 for dead nodes).
+    power_w: Vec<f64>,
+    /// Hot column: per-node in-flight request count.
+    inflight: Vec<u32>,
+    /// Hot column: per-node effective V/F reduction steps.
+    vf_steps: Vec<u8>,
+    /// Hot column: dead-node mask (thermal trip or outage).
+    dead: Vec<bool>,
+    /// Incrementally-maintained sum of `power_w` (energy integration).
+    power_sum: f64,
+    /// Exact load energy integrated so far, joules.
+    joules: f64,
+    /// Instant up to which `joules` is integrated.
+    last_t: SimTime,
+    /// Arrivals for the current slot, in delivery order
+    /// (`(time, source, local node, request)`).
+    inbox: VecDeque<(SimTime, usize, usize, Request)>,
+    /// Completion predictions and DVFS settles.
+    heap: BinaryHeap<HeapEntry>,
+    /// Monotonic tiebreaker for heap entries.
+    seq: u64,
+    /// Accepted request → owning source index.
+    owner: FxHashMap<RequestId, usize>,
+    /// Source feedback produced this slot, drained at the boundary.
+    outbox: Vec<(SimTime, usize, SourceEvent)>,
+    /// Learn-stage hook replays produced this slot.
+    learn_out: Vec<LearnEvt>,
+    /// Whether to collect learn replays at all (profiler configured).
+    learn_enabled: bool,
+    /// Shard-local latency/SLA metrics, merged at finalize.
+    normal_hist: LatencyHistogram,
+    attack_hist: LatencyHistogram,
+    normal_sla: SlaTracker,
+    attack_sla: SlaTracker,
+    /// Per-shard stream space derived as `master.shard(index)`; reserved
+    /// for stochastic dataplane extensions so adding one never perturbs
+    /// another shard's streams.
+    rng: RngFactory,
+    /// Events this shard has processed.
+    events: u64,
+}
+
+impl Shard {
+    fn new(
+        index: usize,
+        start: usize,
+        nodes: &[ComputeNode],
+        master: &RngFactory,
+        learn_enabled: bool,
+    ) -> Self {
+        let power_w: Vec<f64> = nodes.iter().map(|n| n.power_w()).collect();
+        let power_sum = power_w.iter().sum();
+        Shard {
+            start,
+            power_sum,
+            power_w,
+            inflight: vec![0; nodes.len()],
+            vf_steps: vec![0; nodes.len()],
+            dead: vec![false; nodes.len()],
+            joules: 0.0,
+            last_t: SimTime::ZERO,
+            inbox: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            owner: FxHashMap::default(),
+            outbox: Vec::new(),
+            learn_out: Vec::new(),
+            learn_enabled,
+            normal_hist: LatencyHistogram::for_latency_secs(),
+            attack_hist: LatencyHistogram::for_latency_secs(),
+            normal_sla: SlaTracker::new(),
+            attack_sla: SlaTracker::new(),
+            rng: master.shard(index as u64),
+            events: 0,
+        }
+    }
+
+    /// Number of nodes this shard owns.
+    pub fn len(&self) -> usize {
+        self.power_w.len()
+    }
+
+    /// True for a shard with no nodes (never built by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.power_w.is_empty()
+    }
+
+    /// Global index of this shard's first node.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The per-node power column, watts (data-oriented hot state).
+    pub fn power_col(&self) -> &[f64] {
+        &self.power_w
+    }
+
+    /// The per-node in-flight column.
+    pub fn inflight_col(&self) -> &[u32] {
+        &self.inflight
+    }
+
+    /// The per-node V/F reduction column.
+    pub fn vf_col(&self) -> &[u8] {
+        &self.vf_steps
+    }
+
+    /// The shard's derived RNG stream space.
+    pub fn rng_factory(&self) -> &RngFactory {
+        &self.rng
+    }
+
+    /// Events processed by this shard so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Refresh the SoA columns (and the incremental power sum) for local
+    /// node `j` after any event that may have changed its state.
+    #[inline]
+    fn touch(&mut self, j: usize, node: &ComputeNode) {
+        let p = if self.dead[j] { 0.0 } else { node.power_w() };
+        self.power_sum += p - self.power_w[j];
+        self.power_w[j] = p;
+        self.inflight[j] = node.inflight() as u32;
+        self.vf_steps[j] = node.vf_reduction_steps();
+    }
+
+    /// Advance the exact energy integral to `t`.
+    #[inline]
+    fn integrate_to(&mut self, t: SimTime) {
+        if t > self.last_t {
+            self.joules += self.power_sum * t.since(self.last_t).as_secs_f64();
+            self.last_t = t;
+        }
+    }
+
+    /// Queue an arrival routed to local node `j` (phase A, coordinator).
+    fn enqueue_arrival(&mut self, t: SimTime, src: usize, j: usize, req: Request) {
+        self.inbox.push_back((t, src, j, req));
+    }
+
+    /// Queue a DVFS settle staged by the boundary control plane.
+    fn push_settle(&mut self, time: SimTime, j: usize) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq: self.seq,
+            ev: ShardEv::DvfsSettle { node: j },
+        });
+    }
+
+    /// (Re)schedule the completion prediction for local node `j`.
+    fn refresh_completion(&mut self, now: SimTime, j: usize, node: &mut ComputeNode) {
+        if let Some((eta, id)) = node.next_completion(now) {
+            self.seq += 1;
+            self.heap.push(HeapEntry {
+                time: eta.max(now),
+                seq: self.seq,
+                ev: ShardEv::Complete {
+                    node: j,
+                    epoch: node.epoch(),
+                    id,
+                },
+            });
+        }
+    }
+
+    fn record_outcome(&mut self, is_attack: bool, outcome: RequestOutcome) {
+        if is_attack {
+            self.attack_sla.record(outcome);
+        } else {
+            self.normal_sla.record(outcome);
+        }
+    }
+
+    /// Phase B: replay this shard's events up to and including `t1`,
+    /// then close the slot — integrate energy to `t1` and re-derive the
+    /// power sum from the column with one flat scan, so incremental
+    /// floating-point drift never survives a slot.
+    fn advance(&mut self, nodes: &mut [ComputeNode], t1: SimTime) {
+        loop {
+            let th = self.heap.peek().map(|e| e.time);
+            let ta = self.inbox.front().map(|a| a.0);
+            // Earliest of the two queues; heap wins ties so completions
+            // at an instant precede arrivals at the same instant.
+            let take_heap = match (th, ta) {
+                (None, None) => break,
+                (Some(h), None) => {
+                    if h > t1 {
+                        break;
+                    }
+                    true
+                }
+                (None, Some(a)) => {
+                    if a > t1 {
+                        break;
+                    }
+                    false
+                }
+                (Some(h), Some(a)) => {
+                    if h.min(a) > t1 {
+                        break;
+                    }
+                    h <= a
+                }
+            };
+            self.events += 1;
+            if take_heap {
+                let e = self.heap.pop().expect("peeked heap entry vanished");
+                self.integrate_to(e.time);
+                match e.ev {
+                    ShardEv::Complete { node, epoch, id } => {
+                        self.handle_completion(e.time, node, epoch, id, nodes);
+                    }
+                    ShardEv::DvfsSettle { node } => {
+                        nodes[node].apply_dvfs(e.time);
+                        self.refresh_completion(e.time, node, &mut nodes[node]);
+                        self.touch(node, &nodes[node]);
+                    }
+                }
+            } else {
+                let (t, src, j, req) = self.inbox.pop_front().expect("peeked arrival vanished");
+                self.integrate_to(t);
+                self.handle_arrival(t, src, j, req, nodes);
+            }
+        }
+        self.integrate_to(t1);
+        self.power_sum = self.power_w.iter().sum();
+    }
+
+    fn handle_arrival(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        j: usize,
+        req: Request,
+        nodes: &mut [ComputeNode],
+    ) {
+        let is_attack = req.is_attack;
+        let source_id = req.source;
+        let id = req.id;
+        let url = req.url;
+        match nodes[j].push(now, req) {
+            PushOutcome::Rejected => {
+                self.record_outcome(is_attack, RequestOutcome::Dropped);
+                self.outbox.push((now, src, SourceEvent::Rejected(source_id)));
+            }
+            PushOutcome::Accepted => {
+                self.owner.insert(id, src);
+                if self.learn_enabled {
+                    self.learn_out.push(LearnEvt::Dispatch {
+                        node: self.start + j,
+                        url,
+                    });
+                }
+                self.refresh_completion(now, j, &mut nodes[j]);
+                self.touch(j, &nodes[j]);
+            }
+        }
+    }
+
+    fn handle_completion(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        epoch: u64,
+        id: RequestId,
+        nodes: &mut [ComputeNode],
+    ) {
+        if nodes[j].epoch() != epoch {
+            return; // stale prediction; a fresher event exists
+        }
+        match nodes[j].try_complete(now, id) {
+            Some((req, sojourn)) => {
+                let secs = sojourn.as_secs_f64();
+                let outcome = if req.abandoned(sojourn) {
+                    RequestOutcome::TimedOut
+                } else if req.on_time(sojourn) {
+                    RequestOutcome::OnTime
+                } else {
+                    RequestOutcome::Late
+                };
+                if req.is_attack {
+                    self.attack_hist.record(secs);
+                } else {
+                    self.normal_hist.record(secs);
+                }
+                self.record_outcome(req.is_attack, outcome);
+                if self.learn_enabled {
+                    self.learn_out.push(LearnEvt::Complete {
+                        node: self.start + j,
+                        url: req.url,
+                    });
+                }
+                if let Some(owner) = self.owner.remove(&id) {
+                    self.outbox
+                        .push((now, owner, SourceEvent::Completed(req.source)));
+                }
+                self.refresh_completion(now, j, &mut nodes[j]);
+                self.touch(j, &nodes[j]);
+            }
+            None => {
+                // Same epoch but residual work above tolerance — only
+                // possible through float pathology; self-heal by
+                // rescheduling from current state.
+                self.refresh_completion(now, j, &mut nodes[j]);
+            }
+        }
+    }
+
+    /// Kill local node `j` (thermal trip): in-flight requests count as
+    /// SLA drops, the node is masked out of the power column.
+    fn kill_node(&mut self, j: usize, node: &mut ComputeNode, now: SimTime) {
+        let Shard {
+            owner,
+            normal_sla,
+            attack_sla,
+            ..
+        } = self;
+        node.drain_with(now, |req| {
+            let sla = if req.is_attack { &mut *attack_sla } else { &mut *normal_sla };
+            sla.record(RequestOutcome::Dropped);
+            owner.remove(&req.id);
+        });
+        self.dead[j] = true;
+        self.touch(j, node);
+    }
+
+    /// The breaker opened: drop everything, zero the columns, and stop
+    /// integrating — nothing is served until the end of the window.
+    fn blackout(&mut self, nodes: &mut [ComputeNode], now: SimTime) {
+        self.integrate_to(now);
+        for (j, node) in nodes.iter_mut().enumerate() {
+            let Shard {
+                owner,
+                normal_sla,
+                attack_sla,
+                ..
+            } = self;
+            node.drain_with(now, |req| {
+                let sla = if req.is_attack { &mut *attack_sla } else { &mut *normal_sla };
+                sla.record(RequestOutcome::Dropped);
+                owner.remove(&req.id);
+            });
+            self.power_w[j] = 0.0;
+            self.inflight[j] = 0;
+        }
+        self.power_sum = 0.0;
+        self.heap.clear();
+        self.inbox.clear();
+    }
+}
+
+/// The sharded cluster engine: a sequential coordinator (sources,
+/// perimeter, NLB, control plane, physics) driving parallel dataplane
+/// shards with slot-aligned conservative synchronization.
+pub struct ShardedClusterSim {
+    config: ClusterConfig,
+    horizon: SimTime,
+    nodes: Vec<ComputeNode>,
+    node_dead: Vec<bool>,
+    nlb: Nlb,
+    firewall: Option<Firewall>,
+    battery: Battery,
+    flows: BatteryFlows,
+    pipeline: ControlPipeline,
+    sources: MergedSources,
+    shards: Vec<Shard>,
+    /// Global node index → owning shard index.
+    owner_shard: Vec<usize>,
+    offered: u64,
+    scheme_denied_drops: u64,
+    normal_hist: LatencyHistogram,
+    attack_hist: LatencyHistogram,
+    normal_sla: SlaTracker,
+    attack_sla: SlaTracker,
+    /// Recycled boundary buffer for merging shard feedback in
+    /// `(time, source)` order.
+    feedback_scratch: Vec<(SimTime, usize, SourceEvent)>,
+    /// Coordinator event count (arrivals + slots), reported alongside
+    /// the shards' own counts.
+    events: u64,
+}
+
+impl ShardedClusterSim {
+    /// Build the engine for an experiment over the given traffic
+    /// sources. Panics if `exp.cluster` fails validation (which also
+    /// rejects `shards > 1` with fault injection).
+    pub fn new(exp: &ExperimentConfig, sources: Vec<Box<dyn TrafficSource>>) -> Self {
+        let scheme = scheme::build_scheme(exp.scheme, &exp.cluster);
+        Self::with_scheme(exp, scheme, sources)
+    }
+
+    /// Build with an explicitly-constructed scheme.
+    pub fn with_scheme(
+        exp: &ExperimentConfig,
+        scheme: Box<dyn PowerScheme>,
+        sources: Vec<Box<dyn TrafficSource>>,
+    ) -> Self {
+        let cfg = exp.cluster.clone();
+        cfg.validate().expect("invalid cluster config");
+        assert!(
+            cfg.faults.is_none(),
+            "validate() rejects sharded fault injection"
+        );
+        let start = SimTime::ZERO;
+        let nlb = Nlb::new(cfg.servers, scheme.forwarding_policy(&cfg))
+            .expect("forwarding pools checked by ClusterConfig::validate");
+        let nodes: Vec<ComputeNode> = (0..cfg.servers)
+            .map(|_| ComputeNode::new(start, cfg.cores_per_server, cfg.max_inflight, cfg.dvfs_latency))
+            .collect();
+        let firewall = cfg.firewall.then(|| {
+            Firewall::new(
+                start,
+                FirewallConfig {
+                    threshold_rps: cfg.firewall_threshold_rps,
+                    detection_lag: cfg.firewall_lag,
+                    ..FirewallConfig::default()
+                },
+            )
+        });
+        let battery = Battery::sized_for(start, cfg.aggregate_nameplate_w(), cfg.battery_sustain);
+        let budget = PowerBudget::for_cluster(cfg.aggregate_nameplate_w(), cfg.budget);
+        let idle_total: f64 = nodes.iter().map(|n| n.power_w()).sum();
+        let pipeline = ControlPipeline::new(&cfg, scheme, budget, start, false, idle_total);
+
+        // Near-even contiguous partition: the first `servers % shards`
+        // shards own one extra node.
+        let master = RngFactory::new(exp.seed);
+        let learn_enabled = pipeline.learn.is_some();
+        let k = cfg.shards;
+        let base = cfg.servers / k;
+        let extra = cfg.servers % k;
+        let mut shards = Vec::with_capacity(k);
+        let mut owner_shard = vec![0usize; cfg.servers];
+        let mut at = 0usize;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            for o in owner_shard.iter_mut().skip(at).take(len) {
+                *o = i;
+            }
+            shards.push(Shard::new(i, at, &nodes[at..at + len], &master, learn_enabled));
+            at += len;
+        }
+
+        ShardedClusterSim {
+            horizon: start + exp.duration,
+            nodes,
+            node_dead: vec![false; cfg.servers],
+            nlb,
+            firewall,
+            battery,
+            flows: BatteryFlows::default(),
+            pipeline,
+            sources: MergedSources::new(sources),
+            shards,
+            owner_shard,
+            offered: 0,
+            scheme_denied_drops: 0,
+            normal_hist: LatencyHistogram::for_latency_secs(),
+            attack_hist: LatencyHistogram::for_latency_secs(),
+            normal_sla: SlaTracker::new(),
+            attack_sla: SlaTracker::new(),
+            feedback_scratch: Vec::new(),
+            events: 0,
+            config: cfg,
+        }
+    }
+
+    /// Run an experiment to completion and produce the report.
+    pub fn run(exp: &ExperimentConfig, sources: Vec<Box<dyn TrafficSource>>) -> SimReport {
+        let scheme = scheme::build_scheme(exp.scheme, &exp.cluster);
+        Self::run_with_scheme(exp, scheme, sources)
+    }
+
+    /// Run with an explicitly-constructed scheme.
+    pub fn run_with_scheme(
+        exp: &ExperimentConfig,
+        scheme: Box<dyn PowerScheme>,
+        sources: Vec<Box<dyn TrafficSource>>,
+    ) -> SimReport {
+        let mut sim = Self::with_scheme(exp, scheme, sources);
+        let horizon = sim.horizon;
+        let slot = sim.config.control_slot;
+        let mut t0 = SimTime::ZERO;
+        loop {
+            let t1 = t0 + slot;
+            if t1 <= horizon {
+                sim.advance_window(t1);
+                sim.boundary(t1);
+                t0 = t1;
+            } else {
+                if t0 < horizon {
+                    sim.advance_window(horizon);
+                }
+                break;
+            }
+        }
+        sim.finalize(exp, horizon)
+    }
+
+    /// The shards (exposed for tests and probes).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Phase A + phase B: route this window's arrivals, then advance
+    /// every shard to `t1` in parallel.
+    fn advance_window(&mut self, t1: SimTime) {
+        if self.pipeline.account.outage().is_some() {
+            // Dark data center: the feed is open; nothing is served.
+            while let Some((i, t, req)) = self.sources.next_arrival_up_to(t1) {
+                self.offered += 1;
+                self.events += 1;
+                self.record_outcome(req.is_attack, RequestOutcome::Dropped);
+                self.sources.feedback(t, i, SourceEvent::Rejected(req.source));
+            }
+            return;
+        }
+        while let Some((i, t, req)) = self.sources.next_arrival_up_to(t1) {
+            self.events += 1;
+            self.route_arrival(t, i, req);
+        }
+        let Self { shards, nodes, .. } = self;
+        let mut slices: Vec<&mut [ComputeNode]> = Vec::with_capacity(shards.len());
+        let mut rest: &mut [ComputeNode] = nodes;
+        for sh in shards.iter() {
+            let (head, tail) = rest.split_at_mut(sh.len());
+            slices.push(head);
+            rest = tail;
+        }
+        shards
+            .par_iter_mut()
+            .zip(slices)
+            .for_each(|(sh, slice)| sh.advance(slice, t1));
+    }
+
+    /// Phase A per arrival: perimeter, admission, routing — identical
+    /// order and state evolution to the event-driven engine, so the
+    /// counts it produces are independent of the shard layout.
+    fn route_arrival(&mut self, now: SimTime, src_idx: usize, req: Request) {
+        self.offered += 1;
+        let is_attack = req.is_attack;
+        let source_id = req.source;
+
+        // 1. Perimeter firewall.
+        if let Some(fw) = &mut self.firewall {
+            if fw.inspect(now, source_id) == FirewallVerdict::Blocked {
+                self.record_outcome(is_attack, RequestOutcome::Dropped);
+                self.sources.feedback(now, src_idx, SourceEvent::Blocked(source_id));
+                return;
+            }
+        }
+
+        // 2. Scheme admission (Token's power bucket).
+        if !self.pipeline.decide.admit(now, &req) {
+            self.scheme_denied_drops += 1;
+            self.record_outcome(is_attack, RequestOutcome::Dropped);
+            self.sources.feedback(now, src_idx, SourceEvent::Rejected(source_id));
+            return;
+        }
+
+        // 3. Forward into the owning shard's inbox.
+        let target = self.nlb.route(&req);
+        if self.node_dead[target] {
+            self.record_outcome(is_attack, RequestOutcome::Dropped);
+            self.sources.feedback(now, src_idx, SourceEvent::Rejected(source_id));
+            return;
+        }
+        let s = self.owner_shard[target];
+        let local = target - self.shards[s].start();
+        self.shards[s].enqueue_arrival(now, src_idx, local, req);
+    }
+
+    fn record_outcome(&mut self, is_attack: bool, outcome: RequestOutcome) {
+        if is_attack {
+            self.attack_sla.record(outcome);
+        } else {
+            self.normal_sla.record(outcome);
+        }
+    }
+
+    fn integrate_battery(&mut self, now: SimTime) {
+        let flow = self.battery.advance(now);
+        match self.battery.mode() {
+            BatteryMode::Discharging(_) => {
+                self.flows.discharge_w = flow;
+            }
+            BatteryMode::Charging(_) => {
+                self.flows.charge_w = flow;
+            }
+            BatteryMode::Idle => {
+                self.flows = BatteryFlows::default();
+            }
+        }
+    }
+
+    /// The slot-boundary power aggregate: one flat scan over the shards'
+    /// power columns *in global node order*. One accumulator, one
+    /// addition order, regardless of how many shards the nodes are split
+    /// into — this is what makes control decisions (and therefore every
+    /// discrete count) bit-identical across shard layouts.
+    fn aggregate_power_w(&self) -> f64 {
+        let mut total = 0.0;
+        for sh in &self.shards {
+            for &p in sh.power_col() {
+                total += p;
+            }
+        }
+        total
+    }
+
+    /// Drain shard outboxes in shard order: learn-hook replays (count
+    /// increments, order-insensitive) and source feedback, the latter
+    /// merged into `(time, source)` order so delivery is independent of
+    /// the shard layout.
+    fn drain_shard_outboxes(&mut self, now: SimTime) {
+        let Self {
+            shards,
+            sources,
+            pipeline,
+            feedback_scratch,
+            ..
+        } = self;
+        feedback_scratch.clear();
+        for sh in shards.iter_mut() {
+            if let Some(learn) = pipeline.learn.as_mut() {
+                for ev in sh.learn_out.drain(..) {
+                    match ev {
+                        LearnEvt::Dispatch { node, url } => learn.on_dispatch(node, url),
+                        LearnEvt::Complete { node, url } => learn.on_complete(node, url),
+                    }
+                }
+            } else {
+                sh.learn_out.clear();
+            }
+            feedback_scratch.append(&mut sh.outbox);
+        }
+        feedback_scratch.sort_by_key(|&(t, src, ev)| {
+            let rank = match ev {
+                SourceEvent::Blocked(_) => 0u8,
+                SourceEvent::Rejected(_) => 1,
+                SourceEvent::Completed(_) => 2,
+            };
+            (t, src, rank)
+        });
+        for &(_, src, ev) in feedback_scratch.iter() {
+            sources.feedback(now, src, ev);
+        }
+    }
+
+    /// Thermal boundary pass: PROCHOT clamps become shard settle events;
+    /// critical trips kill the node inside its owning shard.
+    fn thermal_boundary(&mut self, now: SimTime) {
+        let mut tripped = std::mem::take(&mut self.pipeline.tripped);
+        let mut sched: Scheduler<Ev> = Scheduler::detached(now);
+        {
+            let Self { pipeline, nodes, node_dead, .. } = self;
+            pipeline
+                .account
+                .advance_thermals(now, nodes, node_dead, &mut sched, &mut tripped);
+        }
+        for (time, ev) in sched.drain_staged() {
+            if let Ev::DvfsSettle { node } = ev {
+                let s = self.owner_shard[node];
+                let local = node - self.shards[s].start();
+                self.shards[s].push_settle(time, local);
+            }
+        }
+        for &i in &tripped {
+            self.node_dead[i] = true;
+            let s = self.owner_shard[i];
+            let local = i - self.shards[s].start();
+            self.shards[s].kill_node(local, &mut self.nodes[i], now);
+            if let Some(learn) = &mut self.pipeline.learn {
+                learn.forget_node(i);
+            }
+        }
+        tripped.clear();
+        self.pipeline.tripped = tripped;
+    }
+
+    /// The breaker opened: every in-flight request is lost and nothing
+    /// is served until the end of the window.
+    fn begin_outage(&mut self, now: SimTime) {
+        {
+            let Self { shards, nodes, .. } = self;
+            for sh in shards.iter_mut() {
+                let range = sh.start()..sh.start() + sh.len();
+                sh.blackout(&mut nodes[range], now);
+            }
+        }
+        if let Some(learn) = &mut self.pipeline.learn {
+            for i in 0..self.config.servers {
+                learn.forget_node(i);
+            }
+        }
+        self.battery.stop(now);
+        self.flows = BatteryFlows::default();
+        self.pipeline.account.sync_power_total(now, 0.0, &self.flows);
+    }
+
+    /// Phase C: the slot boundary at `now` — physics, then the staged
+    /// control plane (Sense → Filter → Learn → Decide → Act → Account),
+    /// exactly the stage code the event-driven engine runs.
+    fn boundary(&mut self, now: SimTime) {
+        self.events += 1;
+        self.drain_shard_outboxes(now);
+        self.integrate_battery(now);
+        let total = self.aggregate_power_w();
+        {
+            let Self { pipeline, flows, .. } = self;
+            pipeline.account.sync_power_total(now, total, flows);
+        }
+        if self.pipeline.account.thermals.is_some() {
+            self.thermal_boundary(now);
+            let total = self.aggregate_power_w();
+            let Self { pipeline, flows, .. } = self;
+            pipeline.account.sync_power_total(now, total, flows);
+        }
+        let n_nodes = self.nodes.len();
+        if self.pipeline.account.breaker_tripped(now, &self.flows, n_nodes) {
+            self.begin_outage(now);
+        }
+        if self.pipeline.account.outage().is_some() {
+            let soc = self.battery.soc();
+            self.pipeline.account.record_outage_slot(now, soc);
+            return;
+        }
+
+        // Sense → Filter → Learn → Decide → Act. Staged events are
+        // translated into shard queues; power and V/F cannot change
+        // before the commands settle, so the pre-enact aggregate stands.
+        let mut sched: Scheduler<Ev> = Scheduler::detached(now);
+        {
+            let Self {
+                pipeline,
+                nodes,
+                node_dead,
+                nlb,
+                battery,
+                flows,
+                config,
+                ..
+            } = self;
+            let true_power_w = pipeline.account.cluster_power_w();
+            let frame = pipeline.sense.run(now, nodes, node_dead, None, true_power_w);
+            let per_node_nameplate = config.aggregate_nameplate_w() / config.servers as f64;
+            let view = pipeline.filter.run(now, &frame, per_node_nameplate);
+            if let Some(learn) = pipeline.learn.as_mut() {
+                learn.run(nodes, node_dead, &frame, nlb);
+            }
+            let supply_w = pipeline.filter.monitor.budget().supply_w;
+            let mut actions = std::mem::take(&mut pipeline.actions);
+            pipeline.decide.run(
+                now, &view, supply_w, config, nodes, node_dead, battery, flows, &mut actions,
+            );
+            pipeline.act.enact(
+                now,
+                &mut actions,
+                ActCtx { nodes, node_dead, battery, flows, fault: None },
+                &mut sched,
+            );
+            pipeline.actions = actions;
+            pipeline.sense.recycle(frame);
+        }
+        for (time, ev) in sched.drain_staged() {
+            match ev {
+                Ev::DvfsSettle { node } => {
+                    let s = self.owner_shard[node];
+                    let local = node - self.shards[s].start();
+                    self.shards[s].push_settle(time, local);
+                }
+                // The battery clamps at its bounds inside `advance`;
+                // slot-granular metering needs no mid-slot event.
+                Ev::BatteryBound => {}
+                other => unreachable!("boundary stages staged unexpected event {other:?}"),
+            }
+        }
+
+        // Slot-batched NLB load refresh + V/F stats, both as flat scans
+        // over the data-oriented columns.
+        {
+            let Self { shards, nlb, .. } = self;
+            for sh in shards.iter() {
+                nlb.sync_loads(sh.start(), sh.inflight_col());
+            }
+        }
+        let mut vf_sum = 0.0;
+        let mut vf_max = 0u8;
+        for sh in &self.shards {
+            for &v in sh.vf_col() {
+                vf_sum += v as f64;
+                vf_max = vf_max.max(v);
+            }
+        }
+        let mean_vf = vf_sum / self.nodes.len() as f64;
+        let soc = self.battery.soc();
+        self.pipeline.account.record_slot_stats(now, mean_vf, vf_max, soc);
+    }
+
+    fn finalize(&mut self, exp: &ExperimentConfig, horizon: SimTime) -> SimReport {
+        // Close every shard's integration interval and merge metrics in
+        // shard-index order (all merges are counter additions, so the
+        // result is layout-independent).
+        let mut load_j = 0.0;
+        let mut shard_events = 0u64;
+        for sh in &mut self.shards {
+            sh.integrate_to(horizon);
+            load_j += sh.joules;
+            shard_events += sh.events;
+            self.normal_hist.merge(&sh.normal_hist);
+            self.attack_hist.merge(&sh.attack_hist);
+            self.normal_sla.merge(&sh.normal_sla);
+            self.attack_sla.merge(&sh.attack_sla);
+        }
+        // Censor in-flight requests: count those past their client
+        // timeout as timed out.
+        {
+            let Self { nodes, attack_sla, normal_sla, .. } = self;
+            for node in nodes.iter_mut() {
+                node.drain_with(horizon, |req| {
+                    if let Some(sojourn) = horizon.checked_since(req.arrival) {
+                        if req.abandoned(sojourn) {
+                            let sla =
+                                if req.is_attack { &mut *attack_sla } else { &mut *normal_sla };
+                            sla.record(RequestOutcome::TimedOut);
+                        }
+                    }
+                });
+            }
+        }
+        let account = &self.pipeline.account;
+        let monitor = &self.pipeline.filter.monitor;
+        let firewall_blocked = self
+            .firewall
+            .as_ref()
+            .map(|f| f.blocked_requests())
+            .unwrap_or(0);
+        let queue_rejected: u64 = self.nodes.iter().map(|n| n.rejected()).sum::<u64>();
+        let drops = firewall_blocked + self.scheme_denied_drops + queue_rejected;
+        let duration_s = horizon.as_secs_f64();
+        let supply_w = monitor.budget().supply_w;
+
+        let thin = |ts: &TimeSeries| -> Vec<(f64, f64)> {
+            ts.thin(600)
+                .into_iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect()
+        };
+        // Energy identities (same as the event-driven meter, computed
+        // from the shards' exact load integral and the battery's own
+        // exact flow counters): utility = load − discharge + charge.
+        let battery_j = self.battery.total_discharged_j().min(load_j);
+        let charge_j = self.battery.total_charge_drawn_j();
+        let utility_j = (load_j - battery_j).max(0.0) + charge_j;
+
+        SimReport {
+            label: exp.label.clone(),
+            scheme: self.pipeline.decide.scheme.name().to_string(),
+            budget: self.config.budget.name().to_string(),
+            duration_s,
+            seed: exp.seed,
+            normal_latency: LatencySummary::from_histogram(&self.normal_hist),
+            attack_latency: LatencySummary::from_histogram(&self.attack_hist),
+            normal_sla: self.normal_sla,
+            attack_sla: self.attack_sla,
+            power: PowerReport {
+                supply_w,
+                peak_w: account.power_series.max_value().unwrap_or(0.0),
+                avg_w: load_j / duration_s.max(1e-9),
+                violations: monitor.violations(),
+                outage_at_s: account.outage().map(|t| t.as_secs_f64()),
+                violation_fraction: if monitor.lifetime().count() == 0 {
+                    0.0
+                } else {
+                    monitor.violations() as f64 / monitor.lifetime().count() as f64
+                },
+                series: thin(&account.power_series),
+            },
+            battery: BatteryReport {
+                capacity_j: self.battery.capacity_j(),
+                min_soc: account.battery_series.min_value().unwrap_or(1.0),
+                final_soc: self.battery.soc(),
+                episodes: self.battery.discharge_episodes(),
+                discharged_j: self.battery.total_discharged_j(),
+                charge_drawn_j: self.battery.total_charge_drawn_j(),
+                series: thin(&account.battery_series),
+            },
+            energy: EnergyReport {
+                utility_j,
+                battery_j,
+                load_j,
+                normalized_utility: utility_j / (supply_w * duration_s).max(1e-9),
+            },
+            vf: VfReport {
+                mean_reduction_steps: account.vf_summary.mean(),
+                max_reduction_steps: account.max_vf,
+                transitions: self.nodes.iter().map(|n| n.dvfs_transitions()).sum::<u64>(),
+            },
+            thermal: match &account.thermals {
+                None => ThermalReport::default(),
+                Some(ths) => ThermalReport {
+                    peak_temp_c: ths.iter().map(|t| t.peak_c()).fold(0.0, f64::max),
+                    prochot_events: ths.iter().map(|t| t.prochot_events()).sum(),
+                    tripped_nodes: self.node_dead.iter().filter(|&&d| d).count() as u64,
+                },
+            },
+            traffic: TrafficReport {
+                offered: self.offered,
+                firewall_blocked,
+                scheme_denied: self.pipeline.decide.scheme.denied(),
+                queue_rejected,
+                to_suspect_pool: self.nlb.to_suspect_pool(),
+                drop_rate: if self.offered == 0 {
+                    0.0
+                } else {
+                    drops as f64 / self.offered as f64
+                },
+            },
+            profiler: self.pipeline.learn.as_ref().map(|l| l.report()),
+            faults: None,
+            events: self.events + shard_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeKind;
+    use crate::testutil;
+    use powercap::budget::BudgetLevel;
+    use simcore::SimDuration;
+
+    fn exp(shards: usize, scheme: SchemeKind, secs: u64) -> ExperimentConfig {
+        let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+        cluster.shards = shards;
+        ExperimentConfig {
+            cluster,
+            scheme,
+            duration: SimDuration::from_secs(secs),
+            seed: 2019,
+            label: format!("shard-test-{shards}"),
+        }
+    }
+
+    fn sources(e: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+        let horizon = SimTime::ZERO + e.duration;
+        vec![
+            testutil::normal_source(e.seed, horizon, 120.0),
+            testutil::attack_source(e.seed ^ 0xABCD, 400.0, SimTime::from_secs(5), horizon),
+        ]
+    }
+
+    fn run(shards: usize, scheme: SchemeKind, secs: u64) -> SimReport {
+        let e = exp(shards, scheme, secs);
+        ShardedClusterSim::run(&e, sources(&e))
+    }
+
+    #[test]
+    fn shard_partition_is_near_even_and_contiguous() {
+        let e = exp(3, SchemeKind::AntiDope, 30);
+        let sim = ShardedClusterSim::new(&e, sources(&e));
+        let sizes: Vec<usize> = sim.shards().iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![6, 5, 5]);
+        let starts: Vec<usize> = sim.shards().iter().map(|s| s.start()).collect();
+        assert_eq!(starts, vec![0, 6, 11]);
+        // Every shard owns a distinct RNG stream space.
+        let a = sim.shards()[0].rng_factory().master_seed();
+        let b = sim.shards()[1].rng_factory().master_seed();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_layout_is_deterministic() {
+        let a = run(4, SchemeKind::AntiDope, 30);
+        let b = run(4, SchemeKind::AntiDope, 30);
+        assert_eq!(format!("{a:#?}"), format!("{b:#?}"));
+    }
+
+    #[test]
+    fn discrete_counts_conserved_across_shard_counts() {
+        let base = run(2, SchemeKind::AntiDope, 30);
+        for shards in [4, 8] {
+            let other = run(shards, SchemeKind::AntiDope, 30);
+            assert_eq!(base.traffic.offered, other.traffic.offered);
+            assert_eq!(base.traffic.firewall_blocked, other.traffic.firewall_blocked);
+            assert_eq!(base.traffic.scheme_denied, other.traffic.scheme_denied);
+            assert_eq!(base.traffic.queue_rejected, other.traffic.queue_rejected);
+            assert_eq!(base.normal_sla.total(), other.normal_sla.total());
+            assert_eq!(base.attack_sla.total(), other.attack_sla.total());
+            assert_eq!(base.events, other.events);
+            let rel = (base.energy.load_j - other.energy.load_j).abs()
+                / base.energy.load_j.max(1e-9);
+            assert!(rel < 1e-9, "load energy drifted {rel} at {shards} shards");
+        }
+    }
+}

@@ -124,6 +124,19 @@ impl Nlb {
         self.loads[backend] = inflight;
     }
 
+    /// Bulk load refresh for slot-batched engines: overwrite the load
+    /// estimates of the backends starting at `first` from a contiguous
+    /// in-flight column. The sharded cluster engine calls this once per
+    /// shard at each slot boundary instead of `report_load` per event,
+    /// which also discards the optimistic increments LeastLoaded routing
+    /// accumulated during the slot.
+    pub fn sync_loads(&mut self, first: usize, inflight: &[u32]) {
+        let dst = &mut self.loads[first..first + inflight.len()];
+        for (l, &c) in dst.iter_mut().zip(inflight) {
+            *l = c as usize;
+        }
+    }
+
     /// Health-check verdict for a backend. Unhealthy backends are skipped
     /// by all forwarding policies until marked healthy again.
     pub fn set_health(&mut self, backend: usize, ok: bool) {
@@ -496,6 +509,20 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::EmptyPool { pool: "suspect" });
+    }
+
+    #[test]
+    fn sync_loads_overwrites_optimistic_estimates() {
+        let mut nlb = Nlb::new(4, ForwardingPolicy::LeastLoaded).unwrap();
+        let mut b = RequestBuilder::new();
+        // Optimistic increments pile up on the least-loaded pick.
+        for _ in 0..4 {
+            nlb.route(&req(&mut b, 0));
+        }
+        // A slot-boundary refresh from two shard columns replaces them.
+        nlb.sync_loads(0, &[7, 0]);
+        nlb.sync_loads(2, &[3, 3]);
+        assert_eq!(nlb.route(&req(&mut b, 0)), 1, "backend 1 is now emptiest");
     }
 
     #[test]

@@ -463,7 +463,8 @@ impl PsServer {
 /// The direct-integration processor-sharing queue the virtual-time
 /// implementation replaced.
 ///
-/// Kept as an executable specification: [`ReferencePsServer`] integrates
+/// Kept as an executable specification: [`reference::ReferencePsServer`]
+/// integrates
 /// every in-flight request's remaining work on every event (O(n) per
 /// advance, O(n) scans for prediction and completion), which is
 /// unaffordable at flood-scale occupancy but trivially auditable against

@@ -1,6 +1,6 @@
 //! First-order thermal model with PROCHOT-style protection.
 //!
-//! DOPE targets "unconventional layer[s] of targeted resources (e.g.,
+//! DOPE targets "unconventional layer\[s\] of targeted resources (e.g.,
 //! energy, power, and cooling)" (Section 1). This module supplies the
 //! cooling layer: each node is a first-order thermal RC system,
 //!

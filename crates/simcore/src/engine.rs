@@ -77,6 +77,15 @@ impl<E> Scheduler<E> {
     pub fn staged(&self) -> usize {
         self.pending.len()
     }
+
+    /// Drain every staged `(time, event)` pair, leaving the scheduler
+    /// empty. Coordinators that reuse model logic outside an [`Engine`]
+    /// (e.g. the sharded cluster engine running control-plane stages at
+    /// slot boundaries) use this to translate staged events into their
+    /// own queues instead of silently dropping them.
+    pub fn drain_staged(&mut self) -> std::vec::Drain<'_, (SimTime, E)> {
+        self.pending.drain(..)
+    }
 }
 
 /// Why [`Engine::run`] returned.
@@ -310,5 +319,24 @@ mod tests {
         let mut e = Engine::new(recorder());
         assert_eq!(e.run_until(SimTime::from_secs(3)), RunOutcome::QueueEmpty);
         assert_eq!(e.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn detached_scheduler_drains_staged_events() {
+        let mut s: Scheduler<u32> = Scheduler::detached(SimTime::from_secs(5));
+        s.now_event(1);
+        s.after(SimDuration::from_secs(2), 2);
+        s.at(SimTime::from_secs(10), 3);
+        assert_eq!(s.staged(), 3);
+        let drained: Vec<_> = s.drain_staged().collect();
+        assert_eq!(
+            drained,
+            vec![
+                (SimTime::from_secs(5), 1),
+                (SimTime::from_secs(7), 2),
+                (SimTime::from_secs(10), 3),
+            ]
+        );
+        assert_eq!(s.staged(), 0);
     }
 }

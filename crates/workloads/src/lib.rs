@@ -20,6 +20,10 @@
 //!   HTTP/DNS/Slowloris) with measured power-intensity orderings.
 //! * [`source`] — the [`TrafficSource`] abstraction all of the above
 //!   implement, consumed by the cluster simulator.
+//! * [`fanout`] — [`MergedSources`], a slot-ordered k-way merge over
+//!   sources used by the sharded cluster engine to drain a control
+//!   slot's arrivals up front while preserving the pull/feedback
+//!   protocol.
 //! * [`scenario`] — a composable [`ScenarioBuilder`] assembling standard
 //!   populations with automatic id-space / address-pool bookkeeping.
 
@@ -29,6 +33,7 @@
 pub mod alibaba;
 pub mod attacker;
 pub mod dope;
+pub mod fanout;
 pub mod floods;
 pub mod normal;
 pub mod scenario;
@@ -38,6 +43,7 @@ pub mod source;
 pub use alibaba::{AlibabaTraceConfig, UtilizationTrace};
 pub use attacker::{AttackTool, FloodSource, RotatingFloodSource};
 pub use dope::{DopeAttacker, DopeConfig, DopePhase};
+pub use fanout::MergedSources;
 pub use floods::{FloodKind, FloodLayer};
 pub use normal::NormalUsers;
 pub use scenario::ScenarioBuilder;

@@ -7,8 +7,11 @@
 //! much provisioning Anti-DOPE buys back.
 //!
 //! ```text
-//! cargo run --release --example capacity_planning
+//! cargo run --release --example capacity_planning [-- --shards N]
 //! ```
+//!
+//! `--shards N` (default 1) runs every cell on the sharded parallel
+//! engine with `N` dataplane shards.
 
 use antidope_repro::prelude::*;
 use dcmetrics::export::Table;
@@ -16,7 +19,24 @@ use rayon::prelude::*;
 
 const SLA_P90_MS: f64 = 100.0;
 
+/// Parse `--shards N` / `--shards=N` from the command line (default 1).
+fn shards_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--shards" {
+            args.next()
+        } else {
+            a.strip_prefix("--shards=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            return v.parse().expect("--shards expects a positive integer");
+        }
+    }
+    1
+}
+
 fn main() {
+    let shards = shards_arg();
     const RATES: [f64; 4] = [0.0, 200.0, 390.0, 600.0];
     let rates = RATES;
     let budgets = BudgetLevel::ALL;
@@ -67,6 +87,7 @@ fn main() {
             };
             let mut exp =
                 ExperimentConfig::paper_window(ClusterConfig::paper_rack(budget), scheme, 11);
+            exp.cluster.shards = shards;
             exp.duration = SimDuration::from_secs(120);
             (scheme, budget, rate, antidope::run_experiment(&exp, &factory))
         })

@@ -2,12 +2,33 @@
 //! compare Anti-DOPE against plain power capping.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --shards N]
 //! ```
+//!
+//! `--shards N` (default 1) runs the sharded parallel engine with `N`
+//! dataplane shards; the default keeps the original event-driven
+//! engine.
 
 use antidope_repro::prelude::*;
 
+/// Parse `--shards N` / `--shards=N` from the command line (default 1).
+fn shards_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--shards" {
+            args.next()
+        } else {
+            a.strip_prefix("--shards=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            return v.parse().expect("--shards expects a positive integer");
+        }
+    }
+    1
+}
+
 fn main() {
+    let shards = shards_arg();
     // A Colla-Filt flood at 390 req/s spread over 40 bots: each agent
     // stays far below the firewall's 150 req/s rule, but together they
     // push the rack past its oversubscribed power budget.
@@ -39,13 +60,21 @@ fn main() {
         sources
     };
 
-    println!("Simulating 120 s on the paper rack (4 × 100 W, Medium-PB = 340 W)…\n");
+    println!(
+        "Simulating 120 s on the paper rack (4 × 100 W, Medium-PB = 340 W{})…\n",
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        }
+    );
     for scheme in [SchemeKind::None, SchemeKind::Capping, SchemeKind::AntiDope] {
         let mut exp = ExperimentConfig::paper_window(
             ClusterConfig::paper_rack(BudgetLevel::Medium),
             scheme,
             42,
         );
+        exp.cluster.shards = shards;
         exp.duration = SimDuration::from_secs(120);
         let report = antidope::run_experiment(&exp, &factory);
         println!("{}", report.oneline());

@@ -1,0 +1,168 @@
+//! Determinism and conservation contract of the sharded parallel
+//! engine.
+//!
+//! * Same seed + same shard layout ⇒ byte-identical [`SimReport`]s —
+//!   parallel shard execution must leave no thread-scheduling residue.
+//! * Across *different* shard counts every discrete count (offered,
+//!   perimeter blocks, admission denials, queue rejections, SLA
+//!   outcomes, breaker-outage timing) is conserved exactly; energy
+//!   integrals agree to float-rounding tolerance (per-shard integration
+//!   groups the additions differently).
+//!
+//! Cross-*engine* identity (shards = 1 vs > 1) is deliberately NOT
+//! asserted: the sharded engine batches NLB load refreshes and feedback
+//! delivery at slot boundaries, so it is a different (comparable, not
+//! identical) model. `shards: 1` always dispatches to the original
+//! event-driven engine, whose byte-identity the golden harness pins.
+
+mod common;
+
+use antidope_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Run the standard scenario on the 16-node scaling cluster with the
+/// given shard count.
+fn run_sharded(
+    shards: usize,
+    scheme: SchemeKind,
+    attack_rate: f64,
+    duration_s: u64,
+    seed: u64,
+) -> SimReport {
+    let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+    cluster.shards = shards;
+    let mut exp = ExperimentConfig::paper_window(cluster, scheme, seed);
+    exp.duration = SimDuration::from_secs(duration_s);
+    run_experiment(&exp, &common::scenario(attack_rate))
+}
+
+/// Relative difference, guarded against a zero denominator.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-9)
+}
+
+/// Assert the layout-independence contract between two reports of the
+/// same experiment at different shard counts.
+fn assert_conserved(base: &SimReport, other: &SimReport, label: &str) {
+    assert_eq!(base.traffic.offered, other.traffic.offered, "{label}: offered");
+    assert_eq!(
+        base.traffic.firewall_blocked, other.traffic.firewall_blocked,
+        "{label}: firewall_blocked"
+    );
+    assert_eq!(
+        base.traffic.scheme_denied, other.traffic.scheme_denied,
+        "{label}: scheme_denied"
+    );
+    assert_eq!(
+        base.traffic.queue_rejected, other.traffic.queue_rejected,
+        "{label}: queue_rejected"
+    );
+    assert_eq!(base.normal_sla, other.normal_sla, "{label}: normal SLA outcomes");
+    assert_eq!(base.attack_sla, other.attack_sla, "{label}: attack SLA outcomes");
+    assert_eq!(
+        base.power.outage_at_s, other.power.outage_at_s,
+        "{label}: outage instant"
+    );
+    assert_eq!(base.power.violations, other.power.violations, "{label}: violations");
+    assert!(
+        rel_diff(base.energy.load_j, other.energy.load_j) < 1e-9,
+        "{label}: load energy drifted beyond rounding ({} vs {})",
+        base.energy.load_j,
+        other.energy.load_j
+    );
+    assert!(
+        rel_diff(base.energy.utility_j, other.energy.utility_j) < 1e-9,
+        "{label}: utility energy drifted beyond rounding ({} vs {})",
+        base.energy.utility_j,
+        other.energy.utility_j
+    );
+}
+
+#[test]
+fn same_seed_same_layout_byte_identical() {
+    for shards in [1usize, 2, 4, 8] {
+        let a = run_sharded(shards, SchemeKind::AntiDope, 400.0, 30, 77);
+        let b = run_sharded(shards, SchemeKind::AntiDope, 400.0, 30, 77);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "shards={shards} not reproducible"
+        );
+        assert!(a.traffic.offered > 1_000, "scenario must carry real load");
+    }
+}
+
+#[test]
+fn counts_conserved_across_shard_counts() {
+    for scheme in [SchemeKind::Capping, SchemeKind::AntiDope] {
+        let base = run_sharded(2, scheme, 400.0, 30, 19);
+        for shards in [4usize, 8] {
+            let other = run_sharded(shards, scheme, 400.0, 30, 19);
+            assert_conserved(&base, &other, &format!("{scheme} at {shards} shards"));
+        }
+    }
+}
+
+#[test]
+fn breaker_outage_instant_is_layout_independent() {
+    // Unmanaged cluster, deep oversubscription, heavy flood, breaker
+    // armed with a short trip delay: the outage must land at the same
+    // slot regardless of how the nodes are sharded, because the breaker
+    // sees the layout-independent boundary power aggregate.
+    let run = |shards: usize| {
+        let mut cluster = ClusterConfig::scaled(BudgetLevel::Low);
+        cluster.shards = shards;
+        cluster.breaker = true;
+        // Derated feed + short delay: the flood's steady draw sits well
+        // above the rating, so the overload is continuous and the trip
+        // deterministic.
+        cluster.breaker_rating_factor = 0.80;
+        cluster.breaker_trip_delay = SimDuration::from_secs(10);
+        let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::None, 23);
+        exp.duration = SimDuration::from_secs(60);
+        run_experiment(&exp, &common::scenario(900.0))
+    };
+    let base = run(2);
+    assert!(
+        base.power.outage_at_s.is_some(),
+        "scenario must actually trip the breaker: {:?}",
+        base.power
+    );
+    for shards in [4usize, 8] {
+        let other = run(shards);
+        assert_eq!(
+            base.power.outage_at_s, other.power.outage_at_s,
+            "outage moved at {shards} shards"
+        );
+        assert_conserved(&base, &other, &format!("outage run at {shards} shards"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Conservation holds for arbitrary seeds and attack intensities,
+    /// not just the calibrated cells above.
+    #[test]
+    fn prop_conservation_across_shard_counts(
+        seed in 0u64..500,
+        rate in 100.0f64..700.0,
+    ) {
+        let base = run_sharded(2, SchemeKind::AntiDope, rate, 20, seed);
+        for shards in [4usize, 8] {
+            let other = run_sharded(shards, SchemeKind::AntiDope, rate, 20, seed);
+            prop_assert_eq!(base.traffic.offered, other.traffic.offered);
+            prop_assert_eq!(base.traffic.firewall_blocked, other.traffic.firewall_blocked);
+            prop_assert_eq!(base.traffic.queue_rejected, other.traffic.queue_rejected);
+            prop_assert_eq!(
+                base.normal_sla.total() + base.attack_sla.total(),
+                other.normal_sla.total() + other.attack_sla.total()
+            );
+            prop_assert_eq!(base.power.outage_at_s, other.power.outage_at_s);
+            prop_assert!(rel_diff(base.energy.load_j, other.energy.load_j) < 1e-9);
+        }
+    }
+}

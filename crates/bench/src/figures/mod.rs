@@ -30,7 +30,7 @@ pub const ALL_IDS: [&str; 16] = [
 // "fig17", or "fig19" (all dispatch into fig16_17_19).
 
 /// Ablation studies beyond the paper (DESIGN.md §8).
-pub const ABLATION_IDS: [&str; 12] = [
+pub const ABLATION_IDS: [&str; 13] = [
     "abl-framework",
     "abl-threshold",
     "abl-pool",
@@ -43,6 +43,7 @@ pub const ABLATION_IDS: [&str; 12] = [
     "abl-faults",
     "abl-seeds",
     "abl-online-profiler",
+    "abl-resilience",
 ];
 
 /// Dispatch one experiment id. Returns `None` for an unknown id.
@@ -75,6 +76,7 @@ pub fn run(id: &str, mode: RunMode) -> Option<Vec<Table>> {
         "abl-faults" => ablations::faults(mode),
         "abl-seeds" => ablations::seeds(mode),
         "abl-online-profiler" => ablations::online_profiler(mode),
+        "abl-resilience" => ablations::resilience(mode),
         _ => return None,
     })
 }

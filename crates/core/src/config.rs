@@ -1,5 +1,6 @@
 //! Cluster and experiment configuration.
 
+use netsim::RetryConfig;
 use powercap::BudgetLevel;
 use profiler::{ProfilerConfig, ProfilerConfigError};
 use serde::{Deserialize, Serialize};
@@ -56,10 +57,9 @@ pub enum ConfigError {
         /// Configured server count.
         servers: usize,
     },
-    /// Deterministic fault injection is only supported by the
-    /// single-threaded engine (`shards: 1`): fault randomness is drawn
-    /// in global event order, which sharded execution does not preserve.
-    ShardedFaults,
+    /// The retry / circuit-breaker policy was invalid (the wrapped
+    /// error names the offending knob and its value).
+    Retry(netsim::ConfigError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -86,9 +86,7 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "shard count {shards} must be in 1..={servers} (one node per shard minimum)"
             ),
-            ConfigError::ShardedFaults => {
-                write!(f, "fault injection requires the single-threaded engine (shards: 1)")
-            }
+            ConfigError::Retry(e) => write!(f, "retry policy: {e}"),
         }
     }
 }
@@ -104,6 +102,12 @@ impl From<FaultError> for ConfigError {
 impl From<ProfilerConfigError> for ConfigError {
     fn from(e: ProfilerConfigError) -> Self {
         ConfigError::Profiler(e)
+    }
+}
+
+impl From<netsim::ConfigError> for ConfigError {
+    fn from(e: netsim::ConfigError) -> Self {
+        ConfigError::Retry(e)
     }
 }
 
@@ -259,6 +263,16 @@ pub struct ClusterConfig {
     /// attribution (see the `profiler` crate).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub profiler: Option<ProfilerConfig>,
+    /// End-to-end request resilience: NLB-side timeout + bounded retry
+    /// with exponential backoff, and per-rack circuit breakers. `None`
+    /// (the default) keeps today's oracle failure handling — a crashed
+    /// node is instantly taken out of rotation and its in-flight
+    /// requests are final drops. `Some` switches to learned failure
+    /// handling (the NLB only discovers a dead rack through failed
+    /// dispatches) and requires the sharded engine's dataplane, so the
+    /// runner routes such configs through it even at `shards: 1`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry: Option<RetryConfig>,
     /// Staged-control-plane tunables (watchdog, telemetry staleness,
     /// actuator retries). The default reproduces the previously
     /// hard-coded values.
@@ -302,6 +316,7 @@ impl ClusterConfig {
             thermal: false,
             faults: None,
             profiler: None,
+            retry: None,
             control: ControlPlaneConfig::default(),
             shards: default_shards(),
         }
@@ -368,15 +383,15 @@ impl ClusterConfig {
                 servers: self.servers,
             });
         }
-        if self.shards > 1 && self.faults.is_some() {
-            return Err(ConfigError::ShardedFaults);
-        }
         self.control.validate()?;
         if let Some(f) = &self.faults {
             f.validate(self.servers)?;
         }
         if let Some(p) = &self.profiler {
             p.validate()?;
+        }
+        if let Some(r) = &self.retry {
+            r.validate()?;
         }
         Ok(())
     }
@@ -570,16 +585,39 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_sharded_faults() {
+    fn validate_accepts_sharded_faults() {
+        // Per-shard fault RNG streams made the old `shards > 1 xor
+        // faults` restriction obsolete: the combination is first-class.
         let mut c = ClusterConfig::scaled(BudgetLevel::Medium);
         c.shards = 4;
         c.faults = Some(FaultConfig::default());
-        assert!(matches!(c.validate().unwrap_err(), ConfigError::ShardedFaults));
-        // Either alone is fine.
-        c.shards = 1;
         c.validate().unwrap();
-        c.shards = 4;
-        c.faults = None;
+    }
+
+    #[test]
+    fn validate_rejects_bad_retry_policy() {
+        let mut c = ClusterConfig::scaled(BudgetLevel::Medium);
+        c.retry = Some(RetryConfig {
+            max_attempts: 0,
+            ..RetryConfig::default()
+        });
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Retry(_)));
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("retry policy") && msg.contains("max_attempts"),
+            "message must name the knob: {msg}"
+        );
+        c.retry = Some(RetryConfig {
+            backoff_base: SimDuration::from_secs(3),
+            backoff_cap: SimDuration::from_secs(1),
+            ..RetryConfig::default()
+        });
+        assert!(format!("{}", c.validate().unwrap_err()).contains("backoff_cap"));
+        // A valid policy passes, as does a config with no policy.
+        c.retry = Some(RetryConfig::default());
+        c.validate().unwrap();
+        c.retry = None;
         c.validate().unwrap();
     }
 }

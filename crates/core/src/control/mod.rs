@@ -52,7 +52,7 @@ use powercap::pdu::PowerHierarchy;
 use powercap::server_power::ServerPowerModel;
 use powercap::thermal::ThermalNode;
 use profiler::{MixTracker, PowerProfiler};
-use simcore::faults::FaultPlan;
+use simcore::faults::{ActuationFault, FaultConfig, FaultCounts, FaultPlan, ShardFaultPlan};
 use simcore::SimTime;
 
 /// What [`sense::SenseStage`] produces each slot: the ground-truth
@@ -98,13 +98,108 @@ pub struct BatteryFlows {
     pub charge_w: f64,
 }
 
+/// The engine's fault schedule: one global plan under the legacy
+/// event-driven engine, or one plan per shard under the sharded engine
+/// (each shard's randomness is an independent stream, so draw order
+/// between shards is irrelevant and reports stay byte-identical at any
+/// shard count). All methods take **global** node indices; the sharded
+/// variant routes to the owning shard's plan by range.
+// One instance per simulation and never stored in a collection, so the
+// size gap between the two variants buys nothing by boxing.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum FaultPlanSet {
+    /// The legacy single-stream plan (event-order draws).
+    Global(FaultPlan),
+    /// Per-shard plans over contiguous node ranges, in shard order.
+    Sharded(Vec<ShardFaultPlan>),
+}
+
+impl FaultPlanSet {
+    fn for_node(&mut self, node: usize) -> &mut ShardFaultPlan {
+        match self {
+            FaultPlanSet::Global(_) => unreachable!("checked by caller"),
+            FaultPlanSet::Sharded(plans) => plans
+                .iter_mut()
+                .find(|p| p.covers(node))
+                .expect("every node belongs to exactly one shard plan"),
+        }
+    }
+
+    /// Sensor reading for `node` whose true draw is `true_w`.
+    pub(crate) fn sense(&mut self, now: SimTime, node: usize, true_w: f64) -> Option<f64> {
+        match self {
+            FaultPlanSet::Global(p) => p.sense(now, node, true_w),
+            FaultPlanSet::Sharded(_) => self.for_node(node).sense(now, node, true_w),
+        }
+    }
+
+    /// Actuation outcome for a command issued to `node`.
+    pub(crate) fn actuate(&mut self, now: SimTime, node: usize) -> ActuationFault {
+        match self {
+            FaultPlanSet::Global(p) => p.actuate(now, node),
+            FaultPlanSet::Sharded(_) => self.for_node(node).actuate(now, node),
+        }
+    }
+
+    /// Whether a crash is due on `node` right now.
+    pub(crate) fn crash_due(&mut self, now: SimTime, node: usize) -> bool {
+        match self {
+            FaultPlanSet::Global(p) => p.crash_due(now, node),
+            FaultPlanSet::Sharded(_) => self.for_node(node).crash_due(now, node),
+        }
+    }
+
+    /// Record a completed reboot of `node` (the global plan keeps one
+    /// aggregate counter and ignores which node it was).
+    pub(crate) fn record_reboot(&mut self, node: usize) {
+        match self {
+            FaultPlanSet::Global(p) => p.record_reboot(),
+            FaultPlanSet::Sharded(_) => self.for_node(node).record_reboot(),
+        }
+    }
+
+    /// Whether the battery charger is failed at `now`.
+    pub(crate) fn charger_failed(&self, now: SimTime) -> bool {
+        match self {
+            FaultPlanSet::Global(p) => p.charger_failed(now),
+            FaultPlanSet::Sharded(plans) => {
+                plans.first().is_some_and(|p| p.charger_failed(now))
+            }
+        }
+    }
+
+    /// The shared fault configuration.
+    pub(crate) fn config(&self) -> &FaultConfig {
+        match self {
+            FaultPlanSet::Global(p) => p.config(),
+            FaultPlanSet::Sharded(plans) => {
+                plans.first().expect("at least one shard plan").config()
+            }
+        }
+    }
+
+    /// Cumulative injection counters, merged across shard plans.
+    pub(crate) fn counts(&self) -> FaultCounts {
+        match self {
+            FaultPlanSet::Global(p) => p.counts(),
+            FaultPlanSet::Sharded(plans) => {
+                let mut total = FaultCounts::default();
+                for p in plans {
+                    total.merge(&p.counts());
+                }
+                total
+            }
+        }
+    }
+}
+
 /// Fault-injection environment shared by the stages: the plan itself
 /// (consumed by Sense for readings, Act for actuations, and the crash /
 /// charger paths) plus the cumulative counters the final report needs.
 /// Present only when the experiment configures a fault plan.
 pub(crate) struct FaultLayer {
     /// The seeded fault schedule.
-    pub(crate) plan: FaultPlan,
+    pub(crate) plan: FaultPlanSet,
     /// In-flight requests lost to node crashes.
     pub(crate) lost_to_crash: u64,
     /// Charge actions refused by a failed charger.
@@ -118,6 +213,15 @@ pub(crate) struct FaultLayer {
 
 impl FaultLayer {
     pub(crate) fn new(plan: FaultPlan) -> Self {
+        Self::with_set(FaultPlanSet::Global(plan))
+    }
+
+    /// The sharded engine's constructor: one plan per shard.
+    pub(crate) fn sharded(plans: Vec<ShardFaultPlan>) -> Self {
+        Self::with_set(FaultPlanSet::Sharded(plans))
+    }
+
+    fn with_set(plan: FaultPlanSet) -> Self {
         FaultLayer {
             plan,
             lost_to_crash: 0,

@@ -4,17 +4,17 @@
 //! Reads per-node power each control slot and packages it as a
 //! [`TelemetryFrame`]. Without a fault layer the stage passes the true
 //! aggregate through untouched; with one, every live node's sensor is
-//! read through [`FaultPlan::sense`], which may drop, freeze, lag, or
-//! perturb the reading.
+//! read through the fault plan's `sense` hook (global or per-shard, see
+//! `FaultPlanSet`), which may drop, freeze, lag, or perturb the
+//! reading.
 //!
 //! The per-node readings vector is recycled between slots: the driver
 //! hands the frame back through `SenseStage::recycle` once the
 //! downstream stages are done with it, so steady-state slots perform no
 //! heap allocation.
 
-use super::TelemetryFrame;
+use super::{FaultPlanSet, TelemetryFrame};
 use crate::node::ComputeNode;
-use simcore::faults::FaultPlan;
 use simcore::SimTime;
 
 /// Telemetry-acquisition stage. Holds only a recycled readings buffer.
@@ -33,7 +33,7 @@ impl SenseStage {
         now: SimTime,
         nodes: &[ComputeNode],
         node_dead: &[bool],
-        fault: Option<&mut FaultPlan>,
+        fault: Option<&mut FaultPlanSet>,
         true_power_w: f64,
     ) -> TelemetryFrame {
         let readings = fault.map(|plan| {
@@ -75,7 +75,7 @@ impl SenseStage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simcore::faults::FaultConfig;
+    use simcore::faults::{FaultConfig, FaultPlan};
     use simcore::rng::RngFactory;
     use simcore::SimDuration;
 
@@ -95,12 +95,14 @@ mod tests {
             .map(|_| ComputeNode::new(SimTime::ZERO, 4, 32, SimDuration::from_secs(1)))
             .collect();
         let node_dead = vec![false; n];
-        let mut plan = FaultPlan::new(
-            FaultConfig::default(),
-            n,
-            RngFactory::new(3).stream(simcore::rng::streams::FAULTS),
-        )
-        .unwrap();
+        let mut plan = FaultPlanSet::Global(
+            FaultPlan::new(
+                FaultConfig::default(),
+                n,
+                RngFactory::new(3).stream(simcore::rng::streams::FAULTS),
+            )
+            .unwrap(),
+        );
         let mut stage = SenseStage::default();
         let frame = stage.run(
             SimTime::from_secs(1),

@@ -189,6 +189,133 @@ impl Watchdog {
     }
 }
 
+/// Per-shard state of the [`ShardWatchdog`].
+#[derive(Debug, Clone, Copy)]
+struct ShardHealth {
+    engaged_since: Option<SimTime>,
+    blind_streak: u32,
+    ok_streak: u32,
+}
+
+/// Shard-coverage watchdog: detects a *full-shard* telemetry blackout
+/// (every sensor in one shard dark while the rest of the cluster still
+/// reports) and caps just that shard at the conservative safe P-state
+/// until it has reported cleanly for a few consecutive slots.
+///
+/// The global [`Watchdog`] cannot see this failure shape: one dark
+/// shard out of eight only drops cluster coverage to 87.5%, far above
+/// any sane floor, yet the controller knows *nothing* about an eighth
+/// of its load. Scope the fallback to the blind shard and the rest of
+/// the cluster keeps running the scheme's differentiated plan.
+#[derive(Debug, Clone)]
+pub struct ShardWatchdog {
+    engage_slots: u32,
+    recovery_slots: u32,
+    states: Vec<ShardHealth>,
+    degraded_slots: u64,
+    episodes: u64,
+    was_any: bool,
+}
+
+impl ShardWatchdog {
+    /// Watchdog over `n_shards`, engaging a shard only after
+    /// `engage_slots` consecutive fully-blind slots and releasing it
+    /// after `recovery_slots` consecutive slots with at least one
+    /// fresh reading.
+    ///
+    /// The engagement threshold is deliberately not 1: a gap shorter
+    /// than the telemetry staleness window is already bridged by the
+    /// last-known-good estimator, and on small shards a single slot
+    /// with every sensor dropped is an ordinary random event, not a
+    /// rack blackout. Only an outage that outlasts the staleness
+    /// window leaves the controller truly blind — and only then is the
+    /// conservative cap worth its throughput cost.
+    pub fn new(n_shards: usize, engage_slots: u32, recovery_slots: u32) -> Self {
+        ShardWatchdog {
+            engage_slots: engage_slots.max(1),
+            recovery_slots: recovery_slots.max(1),
+            states: vec![
+                ShardHealth {
+                    engaged_since: None,
+                    blind_streak: 0,
+                    ok_streak: 0,
+                };
+                n_shards
+            ],
+            degraded_slots: 0,
+            episodes: 0,
+            was_any: false,
+        }
+    }
+
+    /// Feed one slot's fresh-reading count for `shard` (out of `total`
+    /// *alive* nodes it owns); returns whether the shard is capped this
+    /// slot. Engagement requires a *total* blackout — a shard with even
+    /// one live sensor is left to the staleness estimator and the
+    /// global watchdog. Callers must exclude dead nodes from both
+    /// counts: crashed nodes report a synthetic zero, and letting that
+    /// count as coverage would make engagement depend on where the
+    /// crash landed rather than on sensor health.
+    pub fn observe(&mut self, now: SimTime, shard: usize, fresh: usize, total: usize) -> bool {
+        let st = &mut self.states[shard];
+        if fresh == 0 && total > 0 {
+            st.blind_streak += 1;
+            st.ok_streak = 0;
+            if st.engaged_since.is_none() && st.blind_streak >= self.engage_slots {
+                st.engaged_since = Some(now);
+            }
+        } else {
+            st.blind_streak = 0;
+            if st.engaged_since.is_some() {
+                st.ok_streak += 1;
+                if st.ok_streak >= self.recovery_slots {
+                    st.engaged_since = None;
+                    st.ok_streak = 0;
+                }
+            }
+        }
+        st.engaged_since.is_some()
+    }
+
+    /// Finish the slot after every shard has been `observe`d, updating
+    /// the cluster-level degradation counters. Counting *slots with at
+    /// least one capped shard* (rather than capped shard-slots) keeps
+    /// the report identical across shard layouts when a blackout
+    /// covers the whole cluster: every layout sees the same degraded
+    /// wall-clock, not a tally scaled by the shard count.
+    pub fn close_slot(&mut self) {
+        let any = self.any_engaged();
+        if any {
+            self.degraded_slots += 1;
+            if !self.was_any {
+                self.episodes += 1;
+            }
+        }
+        self.was_any = any;
+    }
+
+    /// Whether `shard` is currently capped.
+    pub fn engaged(&self, shard: usize) -> bool {
+        self.states[shard].engaged_since.is_some()
+    }
+
+    /// Whether any shard is currently capped.
+    pub fn any_engaged(&self) -> bool {
+        self.states.iter().any(|s| s.engaged_since.is_some())
+    }
+
+    /// Control slots during which at least one shard was capped.
+    pub fn degraded_slots(&self) -> u64 {
+        self.degraded_slots
+    }
+
+    /// Distinct degradation episodes: rising edges of "any shard
+    /// capped" across closed slots.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+}
+
 /// What a read-back check concluded for one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerifyOutcome {
@@ -385,6 +512,71 @@ mod tests {
         assert!(w.engaged());
         assert_eq!(w.time_degraded(s(7)), SimDuration::from_secs(5));
         assert_eq!(w.mttr_s(), None);
+    }
+
+    #[test]
+    fn shard_watchdog_requires_total_blackout() {
+        let mut w = ShardWatchdog::new(2, 1, 3);
+        // One live sensor out of four: not a shard blackout.
+        assert!(!w.observe(s(0), 0, 1, 4));
+        assert!(!w.observe(s(0), 1, 4, 4));
+        w.close_slot();
+        assert_eq!(w.degraded_slots(), 0);
+        // Zero fresh readings: engage shard 0 only.
+        assert!(w.observe(s(1), 0, 0, 4));
+        assert!(w.engaged(0));
+        assert!(!w.observe(s(1), 1, 4, 4));
+        assert!(!w.engaged(1));
+        w.close_slot();
+        assert!(w.any_engaged());
+        assert_eq!(w.degraded_slots(), 1);
+        assert_eq!(w.episodes(), 1);
+    }
+
+    #[test]
+    fn shard_watchdog_recovers_with_hysteresis() {
+        let mut w = ShardWatchdog::new(1, 1, 3);
+        let slot = |w: &mut ShardWatchdog, t: u64, fresh: usize| {
+            let capped = w.observe(s(t), 0, fresh, 4);
+            w.close_slot();
+            capped
+        };
+        assert!(slot(&mut w, 0, 0));
+        // Two healthy slots are probation, the third releases.
+        assert!(slot(&mut w, 1, 4));
+        assert!(slot(&mut w, 2, 4));
+        assert!(!slot(&mut w, 3, 4));
+        assert!(!w.any_engaged());
+        assert_eq!(w.degraded_slots(), 3);
+        // A relapse during probation restarts the streak.
+        assert!(slot(&mut w, 4, 0));
+        assert!(slot(&mut w, 5, 4));
+        assert!(slot(&mut w, 6, 0));
+        assert!(slot(&mut w, 7, 4));
+        assert!(slot(&mut w, 8, 4));
+        assert!(!slot(&mut w, 9, 4));
+        assert_eq!(w.episodes(), 2);
+    }
+
+    #[test]
+    fn shard_watchdog_ignores_gaps_shorter_than_the_engage_threshold() {
+        let mut w = ShardWatchdog::new(1, 3, 2);
+        // Two blind slots: below the threshold, never engages.
+        for t in 0..2 {
+            assert!(!w.observe(s(t), 0, 0, 2));
+            w.close_slot();
+        }
+        // One fresh slot resets the blind streak entirely.
+        assert!(!w.observe(s(2), 0, 1, 2));
+        w.close_slot();
+        assert!(!w.observe(s(3), 0, 0, 2));
+        assert!(!w.observe(s(4), 0, 0, 2));
+        // The third *consecutive* blind slot engages.
+        assert!(w.observe(s(5), 0, 0, 2));
+        w.close_slot();
+        assert!(w.any_engaged());
+        assert_eq!(w.degraded_slots(), 1);
+        assert_eq!(w.episodes(), 1);
     }
 
     #[test]

@@ -62,9 +62,9 @@ pub mod testutil;
 pub use cluster::ClusterSim;
 pub use config::{ClusterConfig, ConfigError, ControlPlaneConfig, ExperimentConfig, SchemeKind};
 pub use control::{ClusterView, ControlPipeline, TelemetryFrame};
-pub use health::{ActuatorVerify, TelemetryHealth, Watchdog};
+pub use health::{ActuatorVerify, ShardWatchdog, TelemetryHealth, Watchdog};
 pub use node::ComputeNode;
-pub use results::{FaultReport, SimReport};
+pub use results::{FaultReport, RetryReport, SimReport};
 pub use runner::{run_experiment, run_matrix};
 pub use shard::ShardedClusterSim;
 

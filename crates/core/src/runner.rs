@@ -34,12 +34,13 @@ where
     }
 }
 
-/// Run one experiment to completion, dispatching on `cluster.shards`:
+/// Run one experiment to completion, dispatching on the config:
 /// `shards: 1` (the default) runs the original event-driven
 /// [`ClusterSim`] byte-for-byte; `shards > 1` runs the sharded parallel
-/// engine.
+/// engine. A retry policy also selects the sharded engine (even at one
+/// shard) — the resilience dataplane lives in its slot-boundary loop.
 pub fn run_experiment(exp: &ExperimentConfig, factory: &dyn SourceFactory) -> SimReport {
-    if exp.cluster.shards > 1 {
+    if exp.cluster.shards > 1 || exp.cluster.retry.is_some() {
         ShardedClusterSim::run(exp, factory.build(exp))
     } else {
         ClusterSim::run(exp, factory.build(exp))

@@ -35,17 +35,20 @@
 //! * Same seed + same shard layout ⇒ identical [`SimReport`]s: nothing
 //!   in the cycle depends on thread scheduling — phase B shards touch
 //!   disjoint state and phase C drains them in shard-index order.
-//! * Across *different* shard counts, reports are comparable but not
-//!   bit-identical: every discrete count (offered, blocked, denied,
-//!   rejected, SLA outcomes, breaker trips) is conserved exactly because
-//!   the slot-boundary power aggregate is computed by one flat scan in
-//!   global node order (independent of the partition) and all control
-//!   decisions derive from it; only energy integrals may differ in the
-//!   last float bits, since per-shard accumulation groups additions
-//!   differently.
-//! * `shards: 1` configs never reach this engine — the dispatcher in
-//!   [`crate::runner`] keeps them on the original event-driven
-//!   [`ClusterSim`](crate::cluster::ClusterSim), byte-for-byte.
+//! * Same seed at *any* shard count ⇒ **byte-identical** reports, with
+//!   or without fault injection. Three mechanisms carry the guarantee:
+//!   the slot-boundary power aggregate is one flat scan in global node
+//!   order (independent of the partition), so every control decision —
+//!   and therefore every discrete count — is layout-invariant; energy
+//!   and latency statistics are accumulated **per node** and folded in
+//!   global node order at finalize, so float addition order never
+//!   depends on the partition; and fault randomness is drawn from
+//!   per-node RNG streams ([`ShardFaultPlan`]), so no draw ever crosses
+//!   a shard boundary.
+//! * `shards: 1` configs without a retry policy never reach this
+//!   engine — the dispatcher in [`crate::runner`] keeps them on the
+//!   original event-driven [`ClusterSim`](crate::cluster::ClusterSim),
+//!   byte-for-byte.
 //!
 //! # Deliberate semantic deltas vs. the event-driven engine
 //!
@@ -59,32 +62,42 @@
 //!   `BatteryBound` event is unnecessary because [`Battery::advance`]
 //!   clamps at empty/full itself — only the metering granularity
 //!   changes, not the stored energy.
-//! * Fault injection is rejected by validation (`shards > 1` +
-//!   `faults` ⇒ [`ConfigError::ShardedFaults`](crate::config::ConfigError)):
-//!   fault randomness is drawn in global event order, which sharding
-//!   does not preserve.
+//! * Fault randomness comes from per-node streams instead of the legacy
+//!   engine's single event-ordered stream, so fault-injected runs are
+//!   not byte-comparable *between the two engines* (each engine is
+//!   internally deterministic). Crash reboots settle at the next slot
+//!   boundary rather than mid-slot.
+//! * With a [`RetryConfig`] the coordinator owns a resilience
+//!   dataplane: failed dispatches re-enter the NLB after timeout +
+//!   jittered exponential backoff, and per-shard circuit breakers
+//!   steer retries away from dark racks. Breaker pools follow the
+//!   shard partition by design, so retry runs with breakers enabled
+//!   are deterministic per layout but *not* layout-invariant.
 
 use crate::config::ExperimentConfig;
 use crate::control::act::ActCtx;
-use crate::control::{BatteryFlows, ControlPipeline};
+use crate::control::{BatteryFlows, ControlPipeline, FaultLayer};
+use crate::health::ShardWatchdog;
 use crate::node::ComputeNode;
 use crate::results::{
-    BatteryReport, EnergyReport, LatencySummary, PowerReport, SimReport, ThermalReport,
-    TrafficReport, VfReport,
+    BatteryReport, EnergyReport, FaultReport, LatencySummary, PowerReport, RetryReport, SimReport,
+    ThermalReport, TrafficReport, VfReport,
 };
-use crate::scheme::{self, PowerScheme};
+use crate::scheme::{self, Action, PowerScheme};
 use crate::{cluster::Ev, config::ClusterConfig};
 use dcmetrics::availability::RequestOutcome;
-use dcmetrics::{LatencyHistogram, SlaTracker, TimeSeries};
+use dcmetrics::{LatencyHistogram, OnlineSummary, SlaTracker, TimeSeries};
 use netsim::firewall::{Firewall, FirewallConfig, FirewallVerdict};
 use netsim::nlb::Nlb;
 use netsim::queueing::PushOutcome;
 use netsim::request::{Request, RequestId, UrlId};
+use netsim::resilience::{PoolBreakers, RetryConfig};
 use powercap::battery::{Battery, BatteryMode};
 use powercap::budget::PowerBudget;
 use rayon::prelude::*;
+use simcore::faults::ShardFaultPlan;
 use simcore::fxhash::FxHashMap;
-use simcore::rng::RngFactory;
+use simcore::rng::{streams, RngFactory, SimRng};
 use simcore::{Scheduler, SimTime};
 use std::collections::{BinaryHeap, VecDeque};
 use workloads::fanout::MergedSources;
@@ -149,14 +162,18 @@ pub struct Shard {
     inflight: Vec<u32>,
     /// Hot column: per-node effective V/F reduction steps.
     vf_steps: Vec<u8>,
-    /// Hot column: dead-node mask (thermal trip or outage).
+    /// Hot column: dead-node mask (crash, thermal trip, or outage).
     dead: Vec<bool>,
-    /// Incrementally-maintained sum of `power_w` (energy integration).
-    power_sum: f64,
-    /// Exact load energy integrated so far, joules.
-    joules: f64,
-    /// Instant up to which `joules` is integrated.
-    last_t: SimTime,
+    /// Exact per-node load energy integrated so far, joules. Kept per
+    /// node (not per shard) so the finalize fold can sum in global node
+    /// order — float addition order independent of the partition.
+    joules: Vec<f64>,
+    /// Instant up to which each node's `joules` is integrated.
+    last_t: Vec<SimTime>,
+    /// Per-node latency summaries (normal / attack traffic), folded in
+    /// global node order at finalize for layout-invariant means.
+    normal_sum: Vec<OnlineSummary>,
+    attack_sum: Vec<OnlineSummary>,
     /// Arrivals for the current slot, in delivery order
     /// (`(time, source, local node, request)`).
     inbox: VecDeque<(SimTime, usize, usize, Request)>,
@@ -183,6 +200,11 @@ pub struct Shard {
     rng: RngFactory,
     /// Events this shard has processed.
     events: u64,
+    /// Completions whose request had already been retried at least once.
+    recovered: u64,
+    /// Completions inside the current slot — the circuit breakers'
+    /// per-pool success signal, reset at every boundary.
+    slot_completions: u64,
 }
 
 impl Shard {
@@ -194,16 +216,16 @@ impl Shard {
         learn_enabled: bool,
     ) -> Self {
         let power_w: Vec<f64> = nodes.iter().map(|n| n.power_w()).collect();
-        let power_sum = power_w.iter().sum();
         Shard {
             start,
-            power_sum,
             power_w,
             inflight: vec![0; nodes.len()],
             vf_steps: vec![0; nodes.len()],
             dead: vec![false; nodes.len()],
-            joules: 0.0,
-            last_t: SimTime::ZERO,
+            joules: vec![0.0; nodes.len()],
+            last_t: vec![SimTime::ZERO; nodes.len()],
+            normal_sum: vec![OnlineSummary::new(); nodes.len()],
+            attack_sum: vec![OnlineSummary::new(); nodes.len()],
             inbox: VecDeque::new(),
             heap: BinaryHeap::new(),
             seq: 0,
@@ -217,6 +239,8 @@ impl Shard {
             attack_sla: SlaTracker::new(),
             rng: master.shard(index as u64),
             events: 0,
+            recovered: 0,
+            slot_completions: 0,
         }
     }
 
@@ -260,23 +284,33 @@ impl Shard {
         self.events
     }
 
-    /// Refresh the SoA columns (and the incremental power sum) for local
-    /// node `j` after any event that may have changed its state.
+    /// Refresh the SoA columns for local node `j` after any event that
+    /// may have changed its state, integrating the node's energy over
+    /// the old power level first. Integration is strictly per node: a
+    /// node's `(power, Δt)` product sequence depends only on its own
+    /// event history, never on which shard it landed in.
     #[inline]
-    fn touch(&mut self, j: usize, node: &ComputeNode) {
+    fn touch(&mut self, now: SimTime, j: usize, node: &ComputeNode) {
+        self.integrate_node(now, j);
         let p = if self.dead[j] { 0.0 } else { node.power_w() };
-        self.power_sum += p - self.power_w[j];
         self.power_w[j] = p;
         self.inflight[j] = node.inflight() as u32;
         self.vf_steps[j] = node.vf_reduction_steps();
     }
 
-    /// Advance the exact energy integral to `t`.
+    /// Advance local node `j`'s exact energy integral to `t`.
     #[inline]
-    fn integrate_to(&mut self, t: SimTime) {
-        if t > self.last_t {
-            self.joules += self.power_sum * t.since(self.last_t).as_secs_f64();
-            self.last_t = t;
+    fn integrate_node(&mut self, t: SimTime, j: usize) {
+        if t > self.last_t[j] {
+            self.joules[j] += self.power_w[j] * t.since(self.last_t[j]).as_secs_f64();
+            self.last_t[j] = t;
+        }
+    }
+
+    /// Advance every node's energy integral to `t` (slot close).
+    fn integrate_all(&mut self, t: SimTime) {
+        for j in 0..self.power_w.len() {
+            self.integrate_node(t, j);
         }
     }
 
@@ -320,9 +354,7 @@ impl Shard {
     }
 
     /// Phase B: replay this shard's events up to and including `t1`,
-    /// then close the slot — integrate energy to `t1` and re-derive the
-    /// power sum from the column with one flat scan, so incremental
-    /// floating-point drift never survives a slot.
+    /// then close the slot — integrate every node's energy to `t1`.
     fn advance(&mut self, nodes: &mut [ComputeNode], t1: SimTime) {
         loop {
             let th = self.heap.peek().map(|e| e.time);
@@ -353,7 +385,6 @@ impl Shard {
             self.events += 1;
             if take_heap {
                 let e = self.heap.pop().expect("peeked heap entry vanished");
-                self.integrate_to(e.time);
                 match e.ev {
                     ShardEv::Complete { node, epoch, id } => {
                         self.handle_completion(e.time, node, epoch, id, nodes);
@@ -361,17 +392,15 @@ impl Shard {
                     ShardEv::DvfsSettle { node } => {
                         nodes[node].apply_dvfs(e.time);
                         self.refresh_completion(e.time, node, &mut nodes[node]);
-                        self.touch(node, &nodes[node]);
+                        self.touch(e.time, node, &nodes[node]);
                     }
                 }
             } else {
                 let (t, src, j, req) = self.inbox.pop_front().expect("peeked arrival vanished");
-                self.integrate_to(t);
                 self.handle_arrival(t, src, j, req, nodes);
             }
         }
-        self.integrate_to(t1);
-        self.power_sum = self.power_w.iter().sum();
+        self.integrate_all(t1);
     }
 
     fn handle_arrival(
@@ -400,7 +429,7 @@ impl Shard {
                     });
                 }
                 self.refresh_completion(now, j, &mut nodes[j]);
-                self.touch(j, &nodes[j]);
+                self.touch(now, j, &nodes[j]);
             }
         }
     }
@@ -428,8 +457,14 @@ impl Shard {
                 };
                 if req.is_attack {
                     self.attack_hist.record(secs);
+                    self.attack_sum[j].record(secs);
                 } else {
                     self.normal_hist.record(secs);
+                    self.normal_sum[j].record(secs);
+                }
+                self.slot_completions += 1;
+                if req.attempt > 0 {
+                    self.recovered += 1;
                 }
                 self.record_outcome(req.is_attack, outcome);
                 if self.learn_enabled {
@@ -443,7 +478,7 @@ impl Shard {
                         .push((now, owner, SourceEvent::Completed(req.source)));
                 }
                 self.refresh_completion(now, j, &mut nodes[j]);
-                self.touch(j, &nodes[j]);
+                self.touch(now, j, &nodes[j]);
             }
             None => {
                 // Same epoch but residual work above tolerance — only
@@ -454,29 +489,63 @@ impl Shard {
         }
     }
 
-    /// Kill local node `j` (thermal trip): in-flight requests count as
-    /// SLA drops, the node is masked out of the power column.
-    fn kill_node(&mut self, j: usize, node: &mut ComputeNode, now: SimTime) {
+    /// Kill local node `j` (thermal trip or crash without a retry
+    /// policy): in-flight requests count as SLA drops, the node is
+    /// masked out of the power column. Returns the number of in-flight
+    /// requests lost.
+    fn kill_node(&mut self, j: usize, node: &mut ComputeNode, now: SimTime) -> u64 {
         let Shard {
             owner,
             normal_sla,
             attack_sla,
             ..
         } = self;
+        let mut lost = 0u64;
         node.drain_with(now, |req| {
             let sla = if req.is_attack { &mut *attack_sla } else { &mut *normal_sla };
             sla.record(RequestOutcome::Dropped);
             owner.remove(&req.id);
+            lost += 1;
         });
         self.dead[j] = true;
-        self.touch(j, node);
+        self.touch(now, j, node);
+        lost
+    }
+
+    /// Kill local node `j` but hand its in-flight requests back to the
+    /// coordinator as `(source, request, global node)` tuples instead of
+    /// dropping them — the resilience dataplane decides their fate.
+    fn kill_node_collect(
+        &mut self,
+        j: usize,
+        node: &mut ComputeNode,
+        now: SimTime,
+        global: usize,
+        out: &mut Vec<(usize, Request, usize)>,
+    ) {
+        let Shard { owner, .. } = self;
+        node.drain_with(now, |req| {
+            let src = owner
+                .remove(&req.id)
+                .expect("every in-flight request has a recorded owner");
+            out.push((src, req, global));
+        });
+        self.dead[j] = true;
+        self.touch(now, j, node);
+    }
+
+    /// A crashed node finished rebooting: unmask it and refresh its
+    /// columns from the fresh hardware.
+    fn revive_node(&mut self, j: usize, node: &ComputeNode, now: SimTime) {
+        self.dead[j] = false;
+        self.touch(now, j, node);
     }
 
     /// The breaker opened: drop everything, zero the columns, and stop
     /// integrating — nothing is served until the end of the window.
     fn blackout(&mut self, nodes: &mut [ComputeNode], now: SimTime) {
-        self.integrate_to(now);
         for (j, node) in nodes.iter_mut().enumerate() {
+            self.integrate_node(now, j);
             let Shard {
                 owner,
                 normal_sla,
@@ -491,10 +560,52 @@ impl Shard {
             self.power_w[j] = 0.0;
             self.inflight[j] = 0;
         }
-        self.power_sum = 0.0;
         self.heap.clear();
         self.inbox.clear();
     }
+}
+
+/// A retried request waiting out its timeout + backoff, ordered by
+/// `(at, request id)` so the replay order is total and deterministic.
+struct RetryEntry {
+    at: SimTime,
+    src: usize,
+    req: Request,
+}
+
+impl PartialEq for RetryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.req.id == other.req.id
+    }
+}
+impl Eq for RetryEntry {}
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest retry.
+        (other.at, other.req.id).cmp(&(self.at, self.req.id))
+    }
+}
+
+/// The coordinator's resilience dataplane: bounded retry with jittered
+/// exponential backoff plus one circuit breaker per shard (a shard is
+/// the engine's stand-in for a rack / breaker domain).
+struct Resilience {
+    policy: RetryConfig,
+    breakers: PoolBreakers,
+    /// Dedicated RNG stream for backoff jitter (`streams::RETRY`), so
+    /// enabling retries never perturbs fault or workload streams.
+    rng: SimRng,
+    /// Retries waiting out their backoff, interleaved with source
+    /// arrivals in phase A.
+    pending: BinaryHeap<RetryEntry>,
+    attempts: u64,
+    exhausted: u64,
+    rerouted: u64,
 }
 
 /// The sharded cluster engine: a sequential coordinator (sources,
@@ -526,12 +637,20 @@ pub struct ShardedClusterSim {
     /// Coordinator event count (arrivals + slots), reported alongside
     /// the shards' own counts.
     events: u64,
+    /// Fault layer (sharded per-node plans), when configured.
+    fault: Option<FaultLayer>,
+    /// Shard-coverage watchdog, present iff `fault` is.
+    shard_watchdog: Option<ShardWatchdog>,
+    /// Crashed nodes waiting to reboot (`(due, global node)`), settled
+    /// at slot boundaries in node-index order.
+    pending_reboots: Vec<(SimTime, usize)>,
+    /// Retry / circuit-breaker dataplane, when configured.
+    resilience: Option<Resilience>,
 }
 
 impl ShardedClusterSim {
     /// Build the engine for an experiment over the given traffic
-    /// sources. Panics if `exp.cluster` fails validation (which also
-    /// rejects `shards > 1` with fault injection).
+    /// sources. Panics if `exp.cluster` fails validation.
     pub fn new(exp: &ExperimentConfig, sources: Vec<Box<dyn TrafficSource>>) -> Self {
         let scheme = scheme::build_scheme(exp.scheme, &exp.cluster);
         Self::with_scheme(exp, scheme, sources)
@@ -545,10 +664,6 @@ impl ShardedClusterSim {
     ) -> Self {
         let cfg = exp.cluster.clone();
         cfg.validate().expect("invalid cluster config");
-        assert!(
-            cfg.faults.is_none(),
-            "validate() rejects sharded fault injection"
-        );
         let start = SimTime::ZERO;
         let nlb = Nlb::new(cfg.servers, scheme.forwarding_policy(&cfg))
             .expect("forwarding pools checked by ClusterConfig::validate");
@@ -565,19 +680,18 @@ impl ShardedClusterSim {
                 },
             )
         });
-        let battery = Battery::sized_for(start, cfg.aggregate_nameplate_w(), cfg.battery_sustain);
+        let mut battery =
+            Battery::sized_for(start, cfg.aggregate_nameplate_w(), cfg.battery_sustain);
         let budget = PowerBudget::for_cluster(cfg.aggregate_nameplate_w(), cfg.budget);
-        let idle_total: f64 = nodes.iter().map(|n| n.power_w()).sum();
-        let pipeline = ControlPipeline::new(&cfg, scheme, budget, start, false, idle_total);
 
         // Near-even contiguous partition: the first `servers % shards`
-        // shards own one extra node.
+        // shards own one extra node. Computed before the pipeline so
+        // fault plans and breaker pools can follow the shard map.
         let master = RngFactory::new(exp.seed);
-        let learn_enabled = pipeline.learn.is_some();
         let k = cfg.shards;
         let base = cfg.servers / k;
         let extra = cfg.servers % k;
-        let mut shards = Vec::with_capacity(k);
+        let mut ranges = Vec::with_capacity(k);
         let mut owner_shard = vec![0usize; cfg.servers];
         let mut at = 0usize;
         for i in 0..k {
@@ -585,9 +699,65 @@ impl ShardedClusterSim {
             for o in owner_shard.iter_mut().skip(at).take(len) {
                 *o = i;
             }
-            shards.push(Shard::new(i, at, &nodes[at..at + len], &master, learn_enabled));
+            ranges.push((at, len));
             at += len;
         }
+
+        // One deterministic fault plan per shard, all drawing from the
+        // same per-node stream space — no draw crosses a shard boundary,
+        // so the fault schedule is independent of the partition.
+        let fault = cfg.faults.as_ref().map(|fc| {
+            let plans: Vec<ShardFaultPlan> = ranges
+                .iter()
+                .map(|&(at, len)| {
+                    ShardFaultPlan::new(fc.clone(), cfg.servers, at, len, &master)
+                        .expect("fault plan checked by ClusterConfig::validate")
+                })
+                .collect();
+            let keep = plans
+                .first()
+                .map_or(1.0, |p| p.battery_capacity_factor());
+            if keep < 1.0 {
+                battery.derate(keep);
+            }
+            FaultLayer::sharded(plans)
+        });
+        // Engage only after a shard has been blind past the staleness
+        // window (shorter gaps are bridged by the last-known-good
+        // estimator, and a one-slot all-sensors-dropped coincidence on
+        // a small shard is noise, not a rack blackout).
+        let shard_watchdog = fault.as_ref().map(|_| {
+            ShardWatchdog::new(
+                k,
+                cfg.control.telemetry_staleness_slots.min(u32::MAX as u64) as u32,
+                cfg.control.watchdog_recovery_slots,
+            )
+        });
+        let resilience = cfg.retry.as_ref().map(|policy| Resilience {
+            breakers: PoolBreakers::new(
+                k,
+                policy.breaker_failure_threshold,
+                policy.breaker_cooldown,
+            ),
+            rng: master.stream(streams::RETRY),
+            pending: BinaryHeap::new(),
+            attempts: 0,
+            exhausted: 0,
+            rerouted: 0,
+            policy: policy.clone(),
+        });
+
+        let idle_total: f64 = nodes.iter().map(|n| n.power_w()).sum();
+        let pipeline =
+            ControlPipeline::new(&cfg, scheme, budget, start, fault.is_some(), idle_total);
+        let learn_enabled = pipeline.learn.is_some();
+        let shards: Vec<Shard> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, len))| {
+                Shard::new(i, at, &nodes[at..at + len], &master, learn_enabled)
+            })
+            .collect();
 
         ShardedClusterSim {
             horizon: start + exp.duration,
@@ -609,6 +779,10 @@ impl ShardedClusterSim {
             attack_sla: SlaTracker::new(),
             feedback_scratch: Vec::new(),
             events: 0,
+            fault,
+            shard_watchdog,
+            pending_reboots: Vec::new(),
+            resilience,
             config: cfg,
         }
     }
@@ -650,11 +824,13 @@ impl ShardedClusterSim {
         &self.shards
     }
 
-    /// Phase A + phase B: route this window's arrivals, then advance
-    /// every shard to `t1` in parallel.
+    /// Phase A + phase B: route this window's arrivals (interleaved
+    /// with due retries in time order), then advance every shard to
+    /// `t1` in parallel.
     fn advance_window(&mut self, t1: SimTime) {
         if self.pipeline.account.outage().is_some() {
             // Dark data center: the feed is open; nothing is served.
+            // (`begin_outage` already drained any pending retries.)
             while let Some((i, t, req)) = self.sources.next_arrival_up_to(t1) {
                 self.offered += 1;
                 self.events += 1;
@@ -663,9 +839,42 @@ impl ShardedClusterSim {
             }
             return;
         }
-        while let Some((i, t, req)) = self.sources.next_arrival_up_to(t1) {
-            self.events += 1;
-            self.route_arrival(t, i, req);
+        // Merge the source feed with the retry queue. `next_arrival_up_to`
+        // consumes its arrival, so one is buffered while the retry heap
+        // is consulted; ties deliver the retry first (it failed earlier,
+        // so its logical arrival predates the fresh request).
+        let mut buffered: Option<(usize, SimTime, Request)> = None;
+        loop {
+            if buffered.is_none() {
+                buffered = self.sources.next_arrival_up_to(t1);
+            }
+            let retry_at = self
+                .resilience
+                .as_ref()
+                .and_then(|r| r.pending.peek())
+                .map(|e| e.at)
+                .filter(|&at| at <= t1);
+            let take_retry = match (retry_at, buffered.as_ref()) {
+                (None, None) => break,
+                (None, Some(_)) => false,
+                (Some(_), None) => true,
+                (Some(ra), Some(&(_, ta, _))) => ra <= ta,
+            };
+            if take_retry {
+                let e = self
+                    .resilience
+                    .as_mut()
+                    .expect("retry heap implies a policy")
+                    .pending
+                    .pop()
+                    .expect("peeked retry entry vanished");
+                self.events += 1;
+                self.dispatch(e.at, e.src, e.req);
+            } else {
+                let (i, t, req) = buffered.take().expect("checked above");
+                self.events += 1;
+                self.route_arrival(t, i, req);
+            }
         }
         let Self { shards, nodes, .. } = self;
         let mut slices: Vec<&mut [ComputeNode]> = Vec::with_capacity(shards.len());
@@ -707,15 +916,89 @@ impl ShardedClusterSim {
         }
 
         // 3. Forward into the owning shard's inbox.
-        let target = self.nlb.route(&req);
+        self.dispatch(now, src_idx, req);
+    }
+
+    /// Route a request (fresh or retried) through the NLB into a shard
+    /// inbox. With a resilience policy, a dispatch aimed at a breaker-
+    /// blocked pool is re-routed to a surviving pool, and a dispatch
+    /// landing on a dead node becomes a failed attempt (retried after
+    /// timeout + backoff) instead of a silent drop.
+    fn dispatch(&mut self, now: SimTime, src_idx: usize, req: Request) {
+        let mut target = self.nlb.route(&req);
+        let pool = self.owner_shard[target];
+        let blocked = match self.resilience.as_mut() {
+            Some(r) if r.policy.breaker_enabled() => !r.breakers.allows(pool, now),
+            _ => false,
+        };
+        if blocked {
+            if let Some(alt) = self.pick_alternate(now) {
+                target = alt;
+                self.resilience
+                    .as_mut()
+                    .expect("blocked pool implies a policy")
+                    .rerouted += 1;
+            }
+        }
         if self.node_dead[target] {
-            self.record_outcome(is_attack, RequestOutcome::Dropped);
-            self.sources.feedback(now, src_idx, SourceEvent::Rejected(source_id));
+            if self.resilience.is_some() {
+                self.attempt_failed(now, src_idx, req, target);
+            } else {
+                self.record_outcome(req.is_attack, RequestOutcome::Dropped);
+                self.sources
+                    .feedback(now, src_idx, SourceEvent::Rejected(req.source));
+            }
             return;
         }
         let s = self.owner_shard[target];
         let local = target - self.shards[s].start();
         self.shards[s].enqueue_arrival(now, src_idx, local, req);
+    }
+
+    /// First alive node in an unblocked pool, scanning from node 0 —
+    /// deterministic, and biased toward low-index pools the same way for
+    /// every request, which the per-slot NLB load sync then corrects.
+    fn pick_alternate(&self, now: SimTime) -> Option<usize> {
+        let r = self.resilience.as_ref()?;
+        (0..self.nodes.len())
+            .find(|&g| !self.node_dead[g] && !r.breakers.blocked(self.owner_shard[g], now))
+    }
+
+    /// A dispatch attempt failed (dead node or crash-drained in-flight
+    /// request). Charge the target's pool breaker, then either schedule
+    /// a retry after timeout + jittered exponential backoff or — with
+    /// the attempt budget exhausted — record the final drop.
+    fn attempt_failed(&mut self, now: SimTime, src_idx: usize, req: Request, target: usize) {
+        let pool = self.owner_shard[target];
+        let exhausted = {
+            let r = self
+                .resilience
+                .as_mut()
+                .expect("failed attempts are only raised with a policy");
+            if r.policy.breaker_enabled() {
+                r.breakers.on_failure(pool, now);
+            }
+            if req.attempt + 1 < r.policy.max_attempts {
+                let backoff = r.policy.backoff(req.attempt, &mut r.rng);
+                let mut req = req;
+                req.attempt += 1;
+                r.attempts += 1;
+                r.pending.push(RetryEntry {
+                    at: now + r.policy.timeout + backoff,
+                    src: src_idx,
+                    req,
+                });
+                None
+            } else {
+                r.exhausted += 1;
+                Some(req)
+            }
+        };
+        if let Some(req) = exhausted {
+            self.record_outcome(req.is_attack, RequestOutcome::Dropped);
+            self.sources
+                .feedback(now, src_idx, SourceEvent::Rejected(req.source));
+        }
     }
 
     fn record_outcome(&mut self, is_attack: bool, outcome: RequestOutcome) {
@@ -817,7 +1100,15 @@ impl ShardedClusterSim {
             self.node_dead[i] = true;
             let s = self.owner_shard[i];
             let local = i - self.shards[s].start();
-            self.shards[s].kill_node(local, &mut self.nodes[i], now);
+            if self.resilience.is_some() {
+                let mut lost = Vec::new();
+                self.shards[s].kill_node_collect(local, &mut self.nodes[i], now, i, &mut lost);
+                for (src, req, node) in lost {
+                    self.attempt_failed(now, src, req, node);
+                }
+            } else {
+                self.shards[s].kill_node(local, &mut self.nodes[i], now);
+            }
             if let Some(learn) = &mut self.pipeline.learn {
                 learn.forget_node(i);
             }
@@ -826,9 +1117,120 @@ impl ShardedClusterSim {
         self.pipeline.tripped = tripped;
     }
 
+    /// Settle due reboots (slot-aligned; the legacy engine settles them
+    /// mid-slot). Fresh hardware replaces the crashed node, cumulative
+    /// counters are retired into the fault layer, and — without a retry
+    /// policy — the oracle failure detector puts it back in rotation.
+    fn process_reboots(&mut self, now: SimTime) {
+        if self.pending_reboots.is_empty() {
+            return;
+        }
+        let mut due: Vec<usize> = self
+            .pending_reboots
+            .iter()
+            .filter(|&&(t, _)| t <= now)
+            .map(|&(_, n)| n)
+            .collect();
+        self.pending_reboots.retain(|&(t, _)| t > now);
+        due.sort_unstable();
+        for node in due {
+            if !self.node_dead[node] {
+                continue;
+            }
+            {
+                let Self { nodes, fault, config, .. } = self;
+                let f = fault
+                    .as_mut()
+                    .expect("reboots only scheduled with a fault plan");
+                f.retired_rejected += nodes[node].rejected();
+                f.retired_transitions += nodes[node].dvfs_transitions();
+                nodes[node] = ComputeNode::new(
+                    now,
+                    config.cores_per_server,
+                    config.max_inflight,
+                    config.dvfs_latency,
+                );
+                f.plan.record_reboot(node);
+            }
+            if let Some(learn) = &mut self.pipeline.learn {
+                learn.forget_node(node);
+            }
+            self.node_dead[node] = false;
+            let s = self.owner_shard[node];
+            let local = node - self.shards[s].start();
+            self.shards[s].revive_node(local, &self.nodes[node], now);
+            if self.resilience.is_none() {
+                self.nlb.set_health(node, true);
+                self.nlb.report_load(node, 0);
+            }
+        }
+    }
+
+    /// Kill nodes whose injected crash is due: with a retry policy the
+    /// drained in-flight requests become failed attempts (the NLB is
+    /// *not* told — failure is observed end-to-end through timeouts and
+    /// breakers); without one they are dropped and the oracle detector
+    /// routes around the corpse, matching the legacy engine.
+    fn process_crashes(&mut self, now: SimTime) {
+        let mut lost_reqs: Vec<(usize, Request, usize)> = Vec::new();
+        for g in 0..self.nodes.len() {
+            if self.node_dead[g] {
+                continue;
+            }
+            let due = match self.fault.as_mut() {
+                Some(f) => f.plan.crash_due(now, g),
+                None => return,
+            };
+            if !due {
+                continue;
+            }
+            self.node_dead[g] = true;
+            let s = self.owner_shard[g];
+            let local = g - self.shards[s].start();
+            let lost = if self.resilience.is_some() {
+                let before = lost_reqs.len();
+                self.shards[s].kill_node_collect(local, &mut self.nodes[g], now, g, &mut lost_reqs);
+                (lost_reqs.len() - before) as u64
+            } else {
+                self.shards[s].kill_node(local, &mut self.nodes[g], now)
+            };
+            if let Some(learn) = &mut self.pipeline.learn {
+                learn.forget_node(g);
+            }
+            let f = self.fault.as_mut().expect("crash implies a fault plan");
+            f.lost_to_crash += lost;
+            let reboot_after = f.plan.config().reboot_after;
+            self.pipeline.filter.forget_node(g);
+            self.pipeline.act.clear_node(g);
+            if self.resilience.is_none() {
+                self.nlb.set_health(g, false);
+                self.nlb.report_load(g, 0);
+            }
+            if !reboot_after.is_zero() {
+                self.pending_reboots.push((now + reboot_after, g));
+            }
+        }
+        for (src, req, node) in lost_reqs {
+            self.attempt_failed(now, src, req, node);
+        }
+    }
+
     /// The breaker opened: every in-flight request is lost and nothing
     /// is served until the end of the window.
     fn begin_outage(&mut self, now: SimTime) {
+        // Retries waiting out their backoff have nowhere to land — the
+        // whole facility is dark. They become final drops.
+        let mut orphans = Vec::new();
+        if let Some(r) = self.resilience.as_mut() {
+            while let Some(e) = r.pending.pop() {
+                orphans.push(e);
+            }
+        }
+        for e in orphans {
+            self.record_outcome(e.req.is_attack, RequestOutcome::Dropped);
+            self.sources
+                .feedback(now, e.src, SourceEvent::Rejected(e.req.source));
+        }
         {
             let Self { shards, nodes, .. } = self;
             for sh in shards.iter_mut() {
@@ -852,9 +1254,31 @@ impl ShardedClusterSim {
     fn boundary(&mut self, now: SimTime) {
         self.events += 1;
         self.drain_shard_outboxes(now);
+        // Per-pool breaker success signal: any completion from a shard
+        // this slot proves its rack is serving again.
+        {
+            let Self { shards, resilience, .. } = self;
+            for (s, sh) in shards.iter_mut().enumerate() {
+                if sh.slot_completions > 0 {
+                    if let Some(r) = resilience.as_mut() {
+                        if r.policy.breaker_enabled() {
+                            r.breakers.on_success(s);
+                        }
+                    }
+                }
+                sh.slot_completions = 0;
+            }
+        }
         self.integrate_battery(now);
         let total = self.aggregate_power_w();
         {
+            let Self { pipeline, flows, .. } = self;
+            pipeline.account.sync_power_total(now, total, flows);
+        }
+        if self.fault.is_some() {
+            self.process_reboots(now);
+            self.process_crashes(now);
+            let total = self.aggregate_power_w();
             let Self { pipeline, flows, .. } = self;
             pipeline.account.sync_power_total(now, total, flows);
         }
@@ -887,24 +1311,93 @@ impl ShardedClusterSim {
                 battery,
                 flows,
                 config,
+                fault,
+                shard_watchdog,
+                shards,
+                owner_shard,
                 ..
             } = self;
             let true_power_w = pipeline.account.cluster_power_w();
-            let frame = pipeline.sense.run(now, nodes, node_dead, None, true_power_w);
+            let frame = pipeline.sense.run(
+                now,
+                nodes,
+                node_dead,
+                fault.as_mut().map(|f| &mut f.plan),
+                true_power_w,
+            );
             let per_node_nameplate = config.aggregate_nameplate_w() / config.servers as f64;
             let view = pipeline.filter.run(now, &frame, per_node_nameplate);
             if let Some(learn) = pipeline.learn.as_mut() {
                 learn.run(nodes, node_dead, &frame, nlb);
+            }
+            // Shard-coverage watchdog: a whole shard going silent is a
+            // rack-scale telemetry blackout the per-reading staleness
+            // filter cannot see as such; track it per shard. Dead
+            // nodes are excluded from both counts — they report a
+            // synthetic zero, and counting that as coverage would make
+            // engagement depend on where a crash landed instead of on
+            // sensor health (and thus on the shard layout).
+            if let (Some(sw), Some(readings)) = (shard_watchdog.as_mut(), frame.readings.as_ref())
+            {
+                for (s, sh) in shards.iter().enumerate() {
+                    let mut fresh = 0;
+                    let mut alive = 0;
+                    for g in sh.start()..sh.start() + sh.len() {
+                        if node_dead[g] {
+                            continue;
+                        }
+                        alive += 1;
+                        if readings[g].is_some() {
+                            fresh += 1;
+                        }
+                    }
+                    sw.observe(now, s, fresh, alive);
+                }
+                sw.close_slot();
+            }
+            if let Some(f) = fault.as_mut() {
+                pipeline.act.sweep(now, nodes, node_dead, f, &mut sched);
             }
             let supply_w = pipeline.filter.monitor.budget().supply_w;
             let mut actions = std::mem::take(&mut pipeline.actions);
             pipeline.decide.run(
                 now, &view, supply_w, config, nodes, node_dead, battery, flows, &mut actions,
             );
+            // Conservative per-shard fallback: while a shard is blacked
+            // out, the controller cannot see its draw, so it pins that
+            // shard's alive nodes at the safe P-state (a per-shard
+            // nameplate-derived cap) and leaves the scheme's plan for
+            // every other shard untouched. The global watchdog already
+            // caps everything when engaged, so the rewrite only runs
+            // under a partial blackout.
+            if let Some(sw) = shard_watchdog.as_ref() {
+                if sw.any_engaged() && !view.watchdog_engaged {
+                    if let Some(safe) = pipeline.decide.safe_pstate {
+                        actions.retain(|a| match a {
+                            Action::SetPState { node, .. }
+                            | Action::SetPowerLimit { node, .. } => {
+                                !sw.engaged(owner_shard[*node])
+                            }
+                            _ => true,
+                        });
+                        for g in 0..nodes.len() {
+                            if !node_dead[g]
+                                && sw.engaged(owner_shard[g])
+                                && nodes[g].target_pstate() != safe
+                            {
+                                actions.push(Action::SetPState {
+                                    node: g,
+                                    target: safe,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
             pipeline.act.enact(
                 now,
                 &mut actions,
-                ActCtx { nodes, node_dead, battery, flows, fault: None },
+                ActCtx { nodes, node_dead, battery, flows, fault: fault.as_mut() },
                 &mut sched,
             );
             pipeline.actions = actions;
@@ -947,19 +1440,37 @@ impl ShardedClusterSim {
 
     fn finalize(&mut self, exp: &ExperimentConfig, horizon: SimTime) -> SimReport {
         // Close every shard's integration interval and merge metrics in
-        // shard-index order (all merges are counter additions, so the
-        // result is layout-independent).
-        let mut load_j = 0.0;
+        // shard-index order (counter additions are layout-independent).
         let mut shard_events = 0u64;
+        let mut recovered = 0u64;
         for sh in &mut self.shards {
-            sh.integrate_to(horizon);
-            load_j += sh.joules;
+            sh.integrate_all(horizon);
             shard_events += sh.events;
+            recovered += sh.recovered;
             self.normal_hist.merge(&sh.normal_hist);
             self.attack_hist.merge(&sh.attack_hist);
             self.normal_sla.merge(&sh.normal_sla);
             self.attack_sla.merge(&sh.attack_sla);
         }
+        // Float folds walk nodes in *global* order with one accumulator,
+        // so the sums (and the Chan-merged latency summaries) come out
+        // byte-identical at any shard count.
+        let mut load_j = 0.0;
+        let mut normal_sum = OnlineSummary::new();
+        let mut attack_sum = OnlineSummary::new();
+        for sh in &self.shards {
+            for &j in &sh.joules {
+                load_j += j;
+            }
+            for s in &sh.normal_sum {
+                normal_sum.merge(s);
+            }
+            for s in &sh.attack_sum {
+                attack_sum.merge(s);
+            }
+        }
+        self.normal_hist.set_summary(normal_sum);
+        self.attack_hist.set_summary(attack_sum);
         // Censor in-flight requests: count those past their client
         // timeout as timed out.
         {
@@ -983,7 +1494,8 @@ impl ShardedClusterSim {
             .as_ref()
             .map(|f| f.blocked_requests())
             .unwrap_or(0);
-        let queue_rejected: u64 = self.nodes.iter().map(|n| n.rejected()).sum::<u64>();
+        let queue_rejected: u64 = self.nodes.iter().map(|n| n.rejected()).sum::<u64>()
+            + self.fault.as_ref().map_or(0, |f| f.retired_rejected);
         let drops = firewall_blocked + self.scheme_denied_drops + queue_rejected;
         let duration_s = horizon.as_secs_f64();
         let supply_w = monitor.budget().supply_w;
@@ -1042,7 +1554,8 @@ impl ShardedClusterSim {
             vf: VfReport {
                 mean_reduction_steps: account.vf_summary.mean(),
                 max_reduction_steps: account.max_vf,
-                transitions: self.nodes.iter().map(|n| n.dvfs_transitions()).sum::<u64>(),
+                transitions: self.nodes.iter().map(|n| n.dvfs_transitions()).sum::<u64>()
+                    + self.fault.as_ref().map_or(0, |f| f.retired_transitions),
             },
             thermal: match &account.thermals {
                 None => ThermalReport::default(),
@@ -1065,7 +1578,54 @@ impl ShardedClusterSim {
                 },
             },
             profiler: self.pipeline.learn.as_ref().map(|l| l.report()),
-            faults: None,
+            faults: self.fault.as_ref().map(|f| {
+                let counts = f.plan.counts();
+                let watchdog = &self
+                    .pipeline
+                    .filter
+                    .hardening
+                    .as_ref()
+                    .expect("fault layer implies hardening")
+                    .watchdog;
+                let verify = self
+                    .pipeline
+                    .act
+                    .verify
+                    .as_ref()
+                    .expect("fault layer implies read-back verification");
+                let sw = self
+                    .shard_watchdog
+                    .as_ref()
+                    .expect("fault layer implies the shard-coverage watchdog");
+                FaultReport {
+                    sensor_dropouts: counts.sensor_dropouts,
+                    sensor_stuck: counts.sensor_stuck,
+                    sensor_stale: counts.sensor_stale,
+                    blackout_samples: counts.blackout_samples,
+                    actuator_lost: counts.actuator_lost,
+                    actuator_delayed: counts.actuator_delayed,
+                    actuator_stuck: counts.actuator_stuck,
+                    crashes: counts.crashes,
+                    reboots: counts.reboots,
+                    lost_to_crash: f.lost_to_crash,
+                    charger_blocked_slots: f.charger_blocked_slots,
+                    actuator_retries: verify.retries(),
+                    actuator_giveups: verify.giveups(),
+                    degraded_slots: watchdog.degraded_slots(),
+                    degraded_episodes: watchdog.episodes(),
+                    time_degraded_s: watchdog.time_degraded(horizon).as_secs_f64(),
+                    mttr_s: watchdog.mttr_s().unwrap_or(0.0),
+                    shard_degraded_slots: sw.degraded_slots(),
+                    shard_degraded_episodes: sw.episodes(),
+                }
+            }),
+            retry: self.resilience.as_ref().map(|r| RetryReport {
+                attempts: r.attempts,
+                recovered,
+                exhausted: r.exhausted,
+                breaker_trips: r.breakers.trips(),
+                rerouted: r.rerouted,
+            }),
             events: self.events + shard_events,
         }
     }
@@ -1087,7 +1647,7 @@ mod tests {
             scheme,
             duration: SimDuration::from_secs(secs),
             seed: 2019,
-            label: format!("shard-test-{shards}"),
+            label: "shard-test".to_string(),
         }
     }
 
@@ -1126,20 +1686,83 @@ mod tests {
     }
 
     #[test]
-    fn discrete_counts_conserved_across_shard_counts() {
-        let base = run(2, SchemeKind::AntiDope, 30);
-        for shards in [4, 8] {
-            let other = run(shards, SchemeKind::AntiDope, 30);
-            assert_eq!(base.traffic.offered, other.traffic.offered);
-            assert_eq!(base.traffic.firewall_blocked, other.traffic.firewall_blocked);
-            assert_eq!(base.traffic.scheme_denied, other.traffic.scheme_denied);
-            assert_eq!(base.traffic.queue_rejected, other.traffic.queue_rejected);
-            assert_eq!(base.normal_sla.total(), other.normal_sla.total());
-            assert_eq!(base.attack_sla.total(), other.attack_sla.total());
-            assert_eq!(base.events, other.events);
-            let rel = (base.energy.load_j - other.energy.load_j).abs()
-                / base.energy.load_j.max(1e-9);
-            assert!(rel < 1e-9, "load energy drifted {rel} at {shards} shards");
+    fn reports_are_byte_identical_across_shard_counts() {
+        let base = serde_json::to_string(&run(1, SchemeKind::AntiDope, 30)).unwrap();
+        for shards in [2, 4, 8] {
+            let other = serde_json::to_string(&run(shards, SchemeKind::AntiDope, 30)).unwrap();
+            assert_eq!(base, other, "report drifted at {shards} shards");
         }
+    }
+
+    fn chaotic_exp(shards: usize, secs: u64) -> ExperimentConfig {
+        use simcore::faults::{CrashEvent, FaultConfig};
+        let mut e = exp(shards, SchemeKind::AntiDope, secs);
+        e.cluster.faults = Some(FaultConfig {
+            sensor_dropout_p: 0.08,
+            sensor_noise_w: 2.5,
+            sensor_stuck_p: 0.01,
+            sensor_stuck_for: SimDuration::from_secs(3),
+            sensor_stale_p: 0.05,
+            blackouts: vec![(SimTime::from_secs(8), SimTime::from_secs(11))],
+            actuator_loss_p: 0.05,
+            actuator_delay_p: 0.05,
+            actuator_delay: SimDuration::from_millis(400),
+            actuator_stuck_p: 0.01,
+            actuator_stuck_for: SimDuration::from_secs(2),
+            crashes: vec![CrashEvent {
+                node: 3,
+                at: SimTime::from_secs(6),
+            }],
+            crash_p: 0.0005,
+            reboot_after: SimDuration::from_secs(5),
+            battery_fade: 0.1,
+            charger_fails_at: None,
+        });
+        e
+    }
+
+    #[test]
+    fn fault_reports_are_byte_identical_across_shard_counts() {
+        let e = chaotic_exp(1, 30);
+        let report = ShardedClusterSim::run(&e, sources(&e));
+        let f = report.faults.as_ref().expect("faults configured");
+        assert!(f.crashes >= 1 && f.reboots >= 1, "chaos fired: {f:?}");
+        assert!(f.sensor_dropouts > 0, "sensor chaos fired: {f:?}");
+        let base = serde_json::to_string(&report).unwrap();
+        for shards in [2, 4, 8] {
+            let e = chaotic_exp(shards, 30);
+            let other =
+                serde_json::to_string(&ShardedClusterSim::run(&e, sources(&e))).unwrap();
+            assert_eq!(base, other, "fault report drifted at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn retries_recover_requests_lost_to_crashes() {
+        let mut e = chaotic_exp(4, 30);
+        e.cluster.retry = Some(RetryConfig::default());
+        let report = ShardedClusterSim::run(&e, sources(&e));
+        let retry = report.retry.as_ref().expect("retry policy configured");
+        let faults = report.faults.as_ref().expect("faults configured");
+        assert!(faults.crashes > 0, "the pinned crash fired");
+        assert!(
+            retry.attempts > 0,
+            "dead-node dispatches were retried: {retry:?}"
+        );
+        // Conservation: every retry attempt either completed later,
+        // is still pending at the horizon, or exhausted its budget —
+        // none may be double-counted in the SLA trackers.
+        let finished = report.normal_sla.total() + report.attack_sla.total();
+        assert!(
+            finished <= report.traffic.offered,
+            "more outcomes ({finished}) than offered ({})",
+            report.traffic.offered
+        );
+        // Determinism with the resilience dataplane in the loop.
+        let again = ShardedClusterSim::run(&e, sources(&e));
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
     }
 }

@@ -75,6 +75,22 @@ impl LatencyHistogram {
         }
     }
 
+    /// Replace the exact-moments summary wholesale, keeping the bin
+    /// counts. The sharded cluster engine merges per-shard histograms
+    /// (bin counts are `u64` sums, associative in any order) but folds
+    /// the floating-point summary separately in a fixed global node
+    /// order so reports stay byte-identical across shard layouts; this
+    /// installs that canonical fold. The caller must pass a summary
+    /// describing exactly the samples in the bins.
+    pub fn set_summary(&mut self, summary: OnlineSummary) {
+        debug_assert_eq!(
+            summary.count(),
+            self.counts.iter().sum::<u64>() + self.underflow,
+            "summary does not describe the binned samples"
+        );
+        self.summary = summary;
+    }
+
     /// Merge another histogram with identical geometry.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "geometry mismatch");

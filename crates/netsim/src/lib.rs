@@ -19,6 +19,10 @@
 //!   round-robin, least-loaded, and URL-split (the mechanism Anti-DOPE's
 //!   PDF programs to segregate suspect flows).
 //! * [`SuspectList`] — the URL → power-intensity map PDF consults.
+//! * [`RetryConfig`] / [`CircuitBreaker`] / [`PoolBreakers`] — the
+//!   end-to-end resilience dataplane: bounded retry with exponential
+//!   backoff + jitter, and per-pool circuit breakers that steer traffic
+//!   away from a tripped rack.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@ pub mod firewall;
 pub mod nlb;
 pub mod queueing;
 pub mod request;
+pub mod resilience;
 pub mod suspect;
 pub mod token_bucket;
 
@@ -36,5 +41,6 @@ pub use firewall::{Firewall, FirewallConfig, FirewallVerdict};
 pub use nlb::{ForwardingPolicy, Nlb};
 pub use queueing::{PsServer, PushOutcome};
 pub use request::{Request, RequestId, SourceId, UrlId};
+pub use resilience::{CircuitBreaker, CircuitState, PoolBreakers, RetryConfig};
 pub use suspect::SuspectList;
 pub use token_bucket::{PowerTokenBucket, TokenBucket};

@@ -54,6 +54,11 @@ pub struct Request {
     pub timeout: SimDuration,
     /// Ground-truth attack label (evaluation only).
     pub is_attack: bool,
+    /// Delivery attempt, starting at 0. The NLB retry path increments it
+    /// on each re-dispatch of the *same* request (same id), bounded by
+    /// the retry policy's attempt budget.
+    #[serde(default)]
+    pub attempt: u8,
 }
 
 impl Request {
@@ -143,6 +148,7 @@ impl RequestBuilder {
             deadline: SimDuration::from_millis(100),
             timeout: SimDuration::from_secs(4),
             is_attack,
+            attempt: 0,
         }
     }
 }

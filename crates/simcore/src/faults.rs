@@ -20,7 +20,7 @@
 //! * **Battery** — capacity fade and a charger that fails permanently at
 //!   a scheduled instant.
 
-use crate::rng::SimRng;
+use crate::rng::{streams, RngFactory, SimRng};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -242,6 +242,23 @@ pub struct FaultCounts {
     pub reboots: u64,
 }
 
+impl FaultCounts {
+    /// Fold another counter set into this one (all fields are `u64`
+    /// sums, so merging is associative and layout-independent — the
+    /// sharded engine merges per-shard counters in shard order).
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.sensor_dropouts += other.sensor_dropouts;
+        self.sensor_stuck += other.sensor_stuck;
+        self.sensor_stale += other.sensor_stale;
+        self.blackout_samples += other.blackout_samples;
+        self.actuator_lost += other.actuator_lost;
+        self.actuator_delayed += other.actuator_delayed;
+        self.actuator_stuck += other.actuator_stuck;
+        self.crashes += other.crashes;
+        self.reboots += other.reboots;
+    }
+}
+
 /// Per-node runtime fault state.
 #[derive(Debug, Clone)]
 struct NodeFaultState {
@@ -263,6 +280,87 @@ impl NodeFaultState {
             actuator_stuck_until: SimTime::ZERO,
         }
     }
+}
+
+/// True while any scheduled blackout window in `cfg` covers `now`.
+fn blackout_covers(cfg: &FaultConfig, now: SimTime) -> bool {
+    cfg.blackouts
+        .iter()
+        .any(|&(start, end)| start <= now && now < end)
+}
+
+/// One node's sensor read through the stochastic fault process. The
+/// blackout check stays with the caller: it is schedule-driven and must
+/// consume no randomness. Shared by [`FaultPlan`] (one stream for the
+/// whole cluster) and [`ShardFaultPlan`] (one stream per node), so both
+/// apply identical guarded-draw logic — a zero-probability fault class
+/// consumes no randomness and never re-times another class.
+fn sense_node(
+    cfg: &FaultConfig,
+    rng: &mut SimRng,
+    st: &mut NodeFaultState,
+    counts: &mut FaultCounts,
+    now: SimTime,
+    true_w: f64,
+) -> Option<f64> {
+    if now < st.sensor_stuck_until {
+        counts.sensor_stuck += 1;
+        return Some(st.stuck_w);
+    }
+    if cfg.sensor_dropout_p > 0.0 && rng.chance(cfg.sensor_dropout_p) {
+        counts.sensor_dropouts += 1;
+        return None;
+    }
+    if cfg.sensor_stuck_p > 0.0 && rng.chance(cfg.sensor_stuck_p) {
+        st.sensor_stuck_until = now + cfg.sensor_stuck_for;
+        st.stuck_w = st.reported_w.unwrap_or(true_w);
+        // The wedged value is what the sensor *displays*, so a later
+        // episode re-wedges at it rather than at a never-seen truth.
+        st.reported_w = Some(st.stuck_w);
+        counts.sensor_stuck += 1;
+        return Some(st.stuck_w);
+    }
+    if cfg.sensor_stale_p > 0.0 && rng.chance(cfg.sensor_stale_p) {
+        if let Some(old) = st.reported_w {
+            counts.sensor_stale += 1;
+            return Some(old);
+        }
+    }
+    let mut w = true_w;
+    if cfg.sensor_noise_w > 0.0 {
+        w = (w + rng.range_f64(-cfg.sensor_noise_w, cfg.sensor_noise_w)).max(0.0);
+    }
+    st.reported_w = Some(w);
+    Some(w)
+}
+
+/// One actuator command through the stochastic fault process. Shared by
+/// both plan flavors; see [`sense_node`].
+fn actuate_node(
+    cfg: &FaultConfig,
+    rng: &mut SimRng,
+    st: &mut NodeFaultState,
+    counts: &mut FaultCounts,
+    now: SimTime,
+) -> ActuationFault {
+    if now < st.actuator_stuck_until {
+        counts.actuator_stuck += 1;
+        return ActuationFault::Stuck;
+    }
+    if cfg.actuator_stuck_p > 0.0 && rng.chance(cfg.actuator_stuck_p) {
+        st.actuator_stuck_until = now + cfg.actuator_stuck_for;
+        counts.actuator_stuck += 1;
+        return ActuationFault::Stuck;
+    }
+    if cfg.actuator_loss_p > 0.0 && rng.chance(cfg.actuator_loss_p) {
+        counts.actuator_lost += 1;
+        return ActuationFault::Lost;
+    }
+    if cfg.actuator_delay_p > 0.0 && rng.chance(cfg.actuator_delay_p) {
+        counts.actuator_delayed += 1;
+        return ActuationFault::Delayed(cfg.actuator_delay);
+    }
+    ActuationFault::Clean
 }
 
 /// The runtime fault process: a validated [`FaultConfig`] plus its
@@ -304,10 +402,7 @@ impl FaultPlan {
 
     /// True while a scheduled blackout window covers `now`.
     pub fn in_blackout(&self, now: SimTime) -> bool {
-        self.cfg
-            .blackouts
-            .iter()
-            .any(|&(start, end)| start <= now && now < end)
+        blackout_covers(&self.cfg, now)
     }
 
     /// Read node `i`'s power sensor: the true draw filtered through the
@@ -324,38 +419,7 @@ impl FaultPlan {
             counts,
             ..
         } = self;
-        let st = &mut nodes[node];
-        if now < st.sensor_stuck_until {
-            counts.sensor_stuck += 1;
-            return Some(st.stuck_w);
-        }
-        // Each draw is guarded so a zero-probability class consumes no
-        // randomness: turning one fault class on never re-times another.
-        if cfg.sensor_dropout_p > 0.0 && rng.chance(cfg.sensor_dropout_p) {
-            counts.sensor_dropouts += 1;
-            return None;
-        }
-        if cfg.sensor_stuck_p > 0.0 && rng.chance(cfg.sensor_stuck_p) {
-            st.sensor_stuck_until = now + cfg.sensor_stuck_for;
-            st.stuck_w = st.reported_w.unwrap_or(true_w);
-            // The wedged value is what the sensor *displays*, so a later
-            // episode re-wedges at it rather than at a never-seen truth.
-            st.reported_w = Some(st.stuck_w);
-            counts.sensor_stuck += 1;
-            return Some(st.stuck_w);
-        }
-        if cfg.sensor_stale_p > 0.0 && rng.chance(cfg.sensor_stale_p) {
-            if let Some(old) = st.reported_w {
-                counts.sensor_stale += 1;
-                return Some(old);
-            }
-        }
-        let mut w = true_w;
-        if cfg.sensor_noise_w > 0.0 {
-            w = (w + rng.range_f64(-cfg.sensor_noise_w, cfg.sensor_noise_w)).max(0.0);
-        }
-        st.reported_w = Some(w);
-        Some(w)
+        sense_node(cfg, rng, &mut nodes[node], counts, now, true_w)
     }
 
     /// Filter one actuator command to node `i` through the fault process.
@@ -367,25 +431,7 @@ impl FaultPlan {
             counts,
             ..
         } = self;
-        let st = &mut nodes[node];
-        if now < st.actuator_stuck_until {
-            counts.actuator_stuck += 1;
-            return ActuationFault::Stuck;
-        }
-        if cfg.actuator_stuck_p > 0.0 && rng.chance(cfg.actuator_stuck_p) {
-            st.actuator_stuck_until = now + cfg.actuator_stuck_for;
-            counts.actuator_stuck += 1;
-            return ActuationFault::Stuck;
-        }
-        if cfg.actuator_loss_p > 0.0 && rng.chance(cfg.actuator_loss_p) {
-            counts.actuator_lost += 1;
-            return ActuationFault::Lost;
-        }
-        if cfg.actuator_delay_p > 0.0 && rng.chance(cfg.actuator_delay_p) {
-            counts.actuator_delayed += 1;
-            return ActuationFault::Delayed(cfg.actuator_delay);
-        }
-        ActuationFault::Clean
+        actuate_node(cfg, rng, &mut nodes[node], counts, now)
     }
 
     /// Whether node `i` crashes at this slot. Call exactly once per
@@ -400,6 +446,165 @@ impl FaultPlan {
             }
         }
         if !crash && self.cfg.crash_p > 0.0 && self.rng.chance(self.cfg.crash_p) {
+            crash = true;
+        }
+        if crash {
+            self.counts.crashes += 1;
+        }
+        crash
+    }
+
+    /// Record a completed node reboot.
+    pub fn record_reboot(&mut self) {
+        self.counts.reboots += 1;
+    }
+
+    /// Remaining battery capacity as a fraction of nameplate.
+    pub fn battery_capacity_factor(&self) -> f64 {
+        1.0 - self.cfg.battery_fade
+    }
+
+    /// True once the charger has failed.
+    pub fn charger_failed(&self, now: SimTime) -> bool {
+        self.cfg.charger_fails_at.is_some_and(|t| now >= t)
+    }
+}
+
+/// Fault process for one dataplane shard of the parallel cluster
+/// engine, covering the contiguous global node range
+/// `[start, start + len)`.
+///
+/// Unlike [`FaultPlan`], which serializes every stochastic draw through
+/// one stream (fine for a single-threaded engine with a fixed query
+/// order), each node here owns its own PRNG stream derived from its
+/// *global* index ([`RngFactory::stream_n`] with [`streams::FAULTS`]).
+/// Draw order between nodes is therefore irrelevant and no draw ever
+/// crosses a shard boundary, so the same seed produces byte-identical
+/// fault sequences at any shard count. The per-node guarded-draw logic
+/// is shared verbatim with [`FaultPlan`]; the per-node streams are a
+/// deliberate, documented semantic delta versus the legacy single
+/// stream.
+#[derive(Debug, Clone)]
+pub struct ShardFaultPlan {
+    cfg: FaultConfig,
+    /// First global node index this plan covers.
+    start: usize,
+    /// One dedicated stream per covered node, indexed by local offset.
+    rngs: Vec<SimRng>,
+    nodes: Vec<NodeFaultState>,
+    /// Which scheduled crashes already fired (full `cfg.crashes` length;
+    /// entries naming out-of-range nodes simply never fire here).
+    fired: Vec<bool>,
+    counts: FaultCounts,
+}
+
+impl ShardFaultPlan {
+    /// Build the plan for the shard owning global nodes
+    /// `[start, start + len)` of a `n_nodes_total`-node cluster. All
+    /// public methods take *global* node indices.
+    pub fn new(
+        cfg: FaultConfig,
+        n_nodes_total: usize,
+        start: usize,
+        len: usize,
+        factory: &RngFactory,
+    ) -> Result<Self, FaultError> {
+        cfg.validate(n_nodes_total)?;
+        assert!(
+            start + len <= n_nodes_total,
+            "shard range [{start}, {}) exceeds cluster size {n_nodes_total}",
+            start + len
+        );
+        let fired = vec![false; cfg.crashes.len()];
+        Ok(ShardFaultPlan {
+            cfg,
+            start,
+            rngs: (start..start + len)
+                .map(|g| factory.stream_n(streams::FAULTS, g as u64))
+                .collect(),
+            nodes: (0..len).map(|_| NodeFaultState::new()).collect(),
+            fired,
+            counts: FaultCounts::default(),
+        })
+    }
+
+    /// The config this plan runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Lifetime fault counters for this shard's nodes.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// First global node index covered.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether this plan covers global node index `node`.
+    pub fn covers(&self, node: usize) -> bool {
+        node >= self.start && node < self.start + self.nodes.len()
+    }
+
+    /// True while a scheduled blackout window covers `now`.
+    pub fn in_blackout(&self, now: SimTime) -> bool {
+        blackout_covers(&self.cfg, now)
+    }
+
+    /// Read global node `node`'s power sensor through the fault process.
+    pub fn sense(&mut self, now: SimTime, node: usize, true_w: f64) -> Option<f64> {
+        if blackout_covers(&self.cfg, now) {
+            self.counts.blackout_samples += 1;
+            return None;
+        }
+        let local = node - self.start;
+        sense_node(
+            &self.cfg,
+            &mut self.rngs[local],
+            &mut self.nodes[local],
+            &mut self.counts,
+            now,
+            true_w,
+        )
+    }
+
+    /// Filter one actuator command to global node `node`.
+    pub fn actuate(&mut self, now: SimTime, node: usize) -> ActuationFault {
+        let local = node - self.start;
+        actuate_node(
+            &self.cfg,
+            &mut self.rngs[local],
+            &mut self.nodes[local],
+            &mut self.counts,
+            now,
+        )
+    }
+
+    /// Whether global node `node` crashes at this slot; same contract as
+    /// [`FaultPlan::crash_due`]. Stochastic draws come from the node's
+    /// own stream, so query order across nodes is irrelevant.
+    pub fn crash_due(&mut self, now: SimTime, node: usize) -> bool {
+        let local = node - self.start;
+        let mut crash = false;
+        for (i, ev) in self.cfg.crashes.iter().enumerate() {
+            if !self.fired[i] && ev.node == node && ev.at <= now {
+                self.fired[i] = true;
+                crash = true;
+            }
+        }
+        if !crash && self.cfg.crash_p > 0.0 && self.rngs[local].chance(self.cfg.crash_p) {
             crash = true;
         }
         if crash {
@@ -639,5 +844,136 @@ mod tests {
         // Errors render a human-readable message naming the field.
         let msg = format!("{}", bad_p.validate(n).unwrap_err());
         assert!(msg.contains("sensor_dropout_p"));
+    }
+
+    fn chaos_cfg() -> FaultConfig {
+        FaultConfig {
+            sensor_dropout_p: 0.2,
+            sensor_stuck_p: 0.05,
+            sensor_stuck_for: SimDuration::from_secs(3),
+            sensor_stale_p: 0.1,
+            sensor_noise_w: 5.0,
+            actuator_loss_p: 0.1,
+            actuator_delay_p: 0.05,
+            actuator_stuck_p: 0.02,
+            crash_p: 0.002,
+            crashes: vec![CrashEvent { node: 1, at: s(40) }],
+            blackouts: vec![(s(50), s(60))],
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Drive every node of a sharding through the same query schedule
+    /// and log each outcome keyed by global node index.
+    fn drive_sharded(ranges: &[(usize, usize)], n_total: usize) -> (String, FaultCounts) {
+        let factory = RngFactory::new(2019);
+        let mut plans: Vec<ShardFaultPlan> = ranges
+            .iter()
+            .map(|&(start, len)| {
+                ShardFaultPlan::new(chaos_cfg(), n_total, start, len, &factory).unwrap()
+            })
+            .collect();
+        let mut log = vec![String::new(); n_total];
+        for t in 0..100u64 {
+            for p in plans.iter_mut() {
+                let (start, len) = (p.start(), p.len());
+                for (g, entry) in log.iter_mut().enumerate().skip(start).take(len) {
+                    entry.push_str(&format!(
+                        "{:?}/{:?}/{} ",
+                        p.sense(s(t), g, 100.0 + t as f64),
+                        p.actuate(s(t), g),
+                        p.crash_due(s(t), g),
+                    ));
+                }
+            }
+        }
+        let mut counts = FaultCounts::default();
+        for p in &plans {
+            counts.merge(&p.counts());
+        }
+        (log.join("\n"), counts)
+    }
+
+    #[test]
+    fn shard_plan_is_layout_independent() {
+        let n = 8;
+        let whole = drive_sharded(&[(0, 8)], n);
+        let halves = drive_sharded(&[(0, 4), (4, 4)], n);
+        let uneven = drive_sharded(&[(0, 3), (3, 3), (6, 2)], n);
+        assert_eq!(whole, halves);
+        assert_eq!(whole, uneven);
+        // The chaos config really fires: counters are non-trivial.
+        assert!(whole.1.sensor_dropouts > 0);
+        assert!(whole.1.blackout_samples > 0);
+        assert!(whole.1.crashes >= 1);
+    }
+
+    #[test]
+    fn shard_plan_query_order_between_nodes_is_irrelevant() {
+        let factory = RngFactory::new(7);
+        let cfg = FaultConfig {
+            sensor_dropout_p: 0.3,
+            sensor_noise_w: 2.0,
+            ..FaultConfig::default()
+        };
+        let mut fwd = ShardFaultPlan::new(cfg.clone(), 4, 0, 4, &factory).unwrap();
+        let mut rev = ShardFaultPlan::new(cfg, 4, 0, 4, &factory).unwrap();
+        let mut a = Vec::new();
+        let mut b = vec![Vec::new(); 4];
+        for t in 0..50u64 {
+            for g in 0..4 {
+                a.push((g, format!("{:?}", fwd.sense(s(t), g, 90.0))));
+            }
+            for g in (0..4).rev() {
+                b[g].push(format!("{:?}", rev.sense(s(t), g, 90.0)));
+            }
+        }
+        for (g, rev_node) in b.iter().enumerate() {
+            let fwd_g: Vec<&String> =
+                a.iter().filter(|(n, _)| *n == g).map(|(_, v)| v).collect();
+            let rev_g: Vec<&String> = rev_node.iter().collect();
+            assert_eq!(fwd_g, rev_g, "node {g} stream depends on query order");
+        }
+    }
+
+    #[test]
+    fn shard_plan_scheduled_crash_fires_only_in_owner_range() {
+        let factory = RngFactory::new(1);
+        let cfg = FaultConfig {
+            crashes: vec![CrashEvent { node: 5, at: s(3) }],
+            ..FaultConfig::default()
+        };
+        let mut left = ShardFaultPlan::new(cfg.clone(), 8, 0, 4, &factory).unwrap();
+        let mut right = ShardFaultPlan::new(cfg, 8, 4, 4, &factory).unwrap();
+        for t in 0..10u64 {
+            for g in 0..4 {
+                assert!(!left.crash_due(s(t), g));
+            }
+        }
+        assert!(!right.crash_due(s(2), 5));
+        assert!(right.crash_due(s(3), 5));
+        assert!(!right.crash_due(s(4), 5));
+        assert_eq!(left.counts().crashes, 0);
+        assert_eq!(right.counts().crashes, 1);
+    }
+
+    #[test]
+    fn fault_counts_merge_sums_fields() {
+        let a = FaultCounts {
+            sensor_dropouts: 1,
+            crashes: 2,
+            reboots: 3,
+            ..FaultCounts::default()
+        };
+        let mut b = FaultCounts {
+            sensor_dropouts: 10,
+            actuator_lost: 5,
+            ..FaultCounts::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.sensor_dropouts, 11);
+        assert_eq!(b.crashes, 2);
+        assert_eq!(b.reboots, 3);
+        assert_eq!(b.actuator_lost, 5);
     }
 }

@@ -249,6 +249,10 @@ pub mod streams {
     /// from its arrival/jitter stream so rotating more or less often
     /// never perturbs the arrival process).
     pub const ATTACK_ROTATION: &str = "attack-rotation";
+    /// Backoff jitter of the NLB retry path (kept separate from every
+    /// other stream so enabling retries never perturbs arrivals, faults,
+    /// or the attacker).
+    pub const RETRY: &str = "retry";
 }
 
 #[cfg(test)]

@@ -24,8 +24,9 @@ pub use workloads;
 pub mod prelude {
     pub use antidope::{
         run_experiment, run_matrix, ClusterConfig, ClusterSim, ExperimentConfig, FaultReport,
-        SchemeKind, SimReport,
+        RetryReport, SchemeKind, SimReport,
     };
+    pub use netsim::RetryConfig;
     pub use powercap::BudgetLevel;
     pub use profiler::{AdaptiveSuspectList, PowerProfiler, ProfilerConfig, ProfilerReport};
     pub use simcore::faults::{CrashEvent, FaultConfig};

@@ -9,7 +9,12 @@
 //! 2. **Determinism under chaos** — the same `(seed, FaultConfig)` pair
 //!    reproduces the report bit-for-bit, including every fault counter.
 //! 3. **Conservation** — no request is double-counted or silently lost,
-//!    whatever the fault layer kills mid-flight.
+//!    whatever the fault layer kills mid-flight — including when the
+//!    retry dataplane re-queues what a crash or thermal kill drained.
+//! 4. **Layout invariance** — with faults *and* retries enabled, the
+//!    sharded engine reproduces the report byte-for-byte at 1, 2, 4,
+//!    and 8 shards (breaker pools excepted: they are shard-scoped by
+//!    design and only promise per-layout determinism).
 
 mod common;
 
@@ -207,6 +212,146 @@ fn noop_plan_is_invisible() {
     );
 }
 
+/// Build the scaled 16-node cluster with a multi-class fault plan and a
+/// retry policy, sharded `shards` ways. The breaker is disabled
+/// (`breaker_cooldown: ZERO`) where byte identity across layouts is
+/// asserted: circuit-breaker pools *are* shards, so their state is
+/// layout-scoped by design.
+fn sharded_chaos_exp(shards: usize, retry: RetryConfig) -> ExperimentConfig {
+    let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+    cluster.shards = shards;
+    cluster.faults = Some(FaultConfig {
+        sensor_dropout_p: 0.08,
+        sensor_noise_w: 2.0,
+        sensor_stuck_p: 0.01,
+        sensor_stale_p: 0.05,
+        // Long enough to outlast the staleness window, so the shard
+        // watchdog actually engages (identically on every layout).
+        blackouts: vec![(SimTime::from_secs(12), SimTime::from_secs(20))],
+        actuator_loss_p: 0.05,
+        crashes: vec![CrashEvent {
+            node: 5,
+            at: SimTime::from_secs(8),
+        }],
+        crash_p: 0.0005,
+        reboot_after: SimDuration::from_secs(6),
+        battery_fade: 0.1,
+        ..FaultConfig::default()
+    });
+    cluster.retry = Some(retry);
+    let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::AntiDope, 2019);
+    exp.duration = SimDuration::from_secs(40);
+    exp
+}
+
+/// Same seed + same fault plan + retries ⇒ byte-identical reports at
+/// **any shard count**. A retry policy routes even `shards: 1` onto the
+/// sharded engine, so all four layouts exercise the same dataplane:
+/// per-node fault streams, per-node energy/latency folds, and the
+/// boundary crash/reboot path must leave no layout residue.
+#[test]
+fn sharded_chaos_is_byte_identical_across_shard_counts() {
+    let no_breaker = RetryConfig {
+        breaker_cooldown: SimDuration::ZERO,
+        ..RetryConfig::default()
+    };
+    let run = |shards: usize| {
+        run_experiment(&sharded_chaos_exp(shards, no_breaker.clone()), &scenario(500.0))
+    };
+    let base = run(1);
+    let f = base.faults.as_ref().expect("fault report");
+    assert!(f.crashes >= 1, "{f:?}");
+    assert!(f.reboots >= 1, "{f:?}");
+    assert!(f.sensor_dropouts > 0, "{f:?}");
+    assert!(
+        f.shard_degraded_slots > 0,
+        "the blackout outlasts the staleness window, so the shard \
+         watchdog must engage: {f:?}"
+    );
+    let r = base.retry.as_ref().expect("retry report");
+    assert!(r.attempts > 0, "crash must strand requests into the retry path: {r:?}");
+    let base_s = serde_json::to_string(&base).unwrap();
+    for shards in [2usize, 4, 8] {
+        let other = run(shards);
+        assert_eq!(
+            base_s,
+            serde_json::to_string(&other).unwrap(),
+            "chaos report drifted at {shards} shards"
+        );
+    }
+}
+
+/// The acceptance gate for the resilience dataplane (the
+/// `abl-resilience` ablation, pinned): a rack trip takes shard 1's four
+/// nodes down for good mid-run. Without retries the NLB — no longer
+/// oracle-notified of deaths — black-holes a quarter of the traffic for
+/// the rest of the run; retry + circuit breaker must restore ≥ 90% of
+/// legitimate goodput, clearing the no-retry arm by a real margin.
+#[test]
+fn retry_plus_breaker_restores_goodput_after_rack_loss() {
+    let run = |retry: RetryConfig| {
+        let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+        cluster.shards = 4;
+        cluster.faults = Some(FaultConfig {
+            crashes: (4..8)
+                .map(|node| CrashEvent {
+                    node,
+                    at: SimTime::from_secs(30),
+                })
+                .collect(),
+            reboot_after: SimDuration::ZERO, // down for good
+            ..FaultConfig::default()
+        });
+        cluster.retry = Some(retry);
+        let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::AntiDope, 2019);
+        exp.duration = SimDuration::from_secs(120);
+        run_experiment(&exp, &scenario(390.0))
+    };
+    let bare = run(RetryConfig {
+        max_attempts: 1,
+        breaker_cooldown: SimDuration::ZERO,
+        ..RetryConfig::default()
+    });
+    let hardened = run(RetryConfig {
+        max_attempts: 4,
+        ..RetryConfig::default()
+    });
+
+    let bare_goodput = bare.normal_sla.completion_rate();
+    let hardened_goodput = hardened.normal_sla.completion_rate();
+    assert!(
+        hardened_goodput >= 0.90,
+        "retry+breaker goodput {hardened_goodput:.3} below the 90% gate"
+    );
+    assert!(
+        bare_goodput < hardened_goodput - 0.05,
+        "no-retry arm ({bare_goodput:.3}) must trail retry+breaker \
+         ({hardened_goodput:.3}) by a real margin"
+    );
+    let retry = hardened.retry.as_ref().expect("retry report");
+    assert!(retry.breaker_trips > 0, "the dead pool must trip its breaker: {retry:?}");
+    assert!(retry.rerouted > 0, "open breakers must steer dispatches: {retry:?}");
+}
+
+/// With the circuit breaker armed, pool state is intentionally
+/// layout-scoped — cross-layout identity no longer holds — but each
+/// layout must still be perfectly reproducible seed-for-seed.
+#[test]
+fn breaker_runs_are_deterministic_per_layout() {
+    for shards in [2usize, 4] {
+        let run = || {
+            run_experiment(&sharded_chaos_exp(shards, RetryConfig::default()), &scenario(500.0))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "breaker run not reproducible at {shards} shards"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8, ..ProptestConfig::default()
@@ -254,6 +399,63 @@ proptest! {
             "offered {} vs accounted {}",
             r.traffic.offered,
             accounted
+        );
+    }
+
+    /// The retry path never duplicates a request (each lands in exactly
+    /// one SLA bucket, so the accounted total cannot exceed offered) and
+    /// never loses one (the unaccounted remainder is bounded by what can
+    /// legitimately be in flight, pending arrival, or parked in the
+    /// retry queue when the horizon cuts the run).
+    #[test]
+    fn retries_never_duplicate_or_lose_requests(
+        max_attempts in 2u8..5,
+        crash_node in 0usize..16,
+        crash_at in 5u64..20,
+        timeout_ms in 50u64..500,
+        seed in 1u64..1_000,
+    ) {
+        let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
+        cluster.shards = 4;
+        cluster.faults = Some(FaultConfig {
+            crashes: vec![CrashEvent {
+                node: crash_node,
+                at: SimTime::from_secs(crash_at),
+            }],
+            reboot_after: SimDuration::from_secs(5),
+            ..FaultConfig::default()
+        });
+        cluster.retry = Some(RetryConfig {
+            max_attempts,
+            timeout: SimDuration::from_millis(timeout_ms),
+            ..RetryConfig::default()
+        });
+        let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::AntiDope, seed);
+        exp.duration = SimDuration::from_secs(30);
+        let r = run_experiment(&exp, &scenario(400.0));
+
+        let accounted = r.normal_sla.total() + r.attack_sla.total();
+        prop_assert!(
+            accounted <= r.traffic.offered,
+            "retries duplicated work: accounted {} > offered {}",
+            accounted,
+            r.traffic.offered
+        );
+        let retry = r.retry.as_ref().expect("retry report");
+        // Every recovered or exhausted request passed through at least
+        // one scheduled retry (max_attempts ≥ 2 above).
+        prop_assert!(retry.recovered + retry.exhausted <= retry.attempts);
+        // Loss bound: in-flight queue slots (16 × 32), one pending
+        // arrival per source, plus requests parked in the retry queue —
+        // each of those consumed a scheduled attempt, so `attempts` is a
+        // (pessimistic) ceiling on the parked population.
+        let slack = 16 * 32 + 2 + retry.attempts;
+        prop_assert!(
+            r.traffic.offered - accounted <= slack,
+            "requests lost: offered {} vs accounted {} (slack {})",
+            r.traffic.offered,
+            accounted,
+            slack
         );
     }
 }

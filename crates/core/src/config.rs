@@ -60,6 +60,20 @@ pub enum ConfigError {
     /// The retry / circuit-breaker policy was invalid (the wrapped
     /// error names the offending knob and its value).
     Retry(netsim::ConfigError),
+    /// A control-plane trace was written by an incompatible schema
+    /// version (see [`crate::control::plane::TRACE_SCHEMA_VERSION`]).
+    TraceSchema {
+        /// Version stamped in the trace header.
+        found: u32,
+        /// Version this build can read.
+        supported: u32,
+    },
+    /// A control-plane trace stream was structurally invalid (missing
+    /// header/footer, unparseable line, I/O failure).
+    TraceFormat {
+        /// What was wrong, with the offending line when known.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -87,6 +101,11 @@ impl std::fmt::Display for ConfigError {
                 "shard count {shards} must be in 1..={servers} (one node per shard minimum)"
             ),
             ConfigError::Retry(e) => write!(f, "retry policy: {e}"),
+            ConfigError::TraceSchema { found, supported } => write!(
+                f,
+                "trace schema version {found} is not readable by this build (supports {supported})"
+            ),
+            ConfigError::TraceFormat { what } => write!(f, "malformed trace: {what}"),
         }
     }
 }

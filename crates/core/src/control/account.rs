@@ -81,6 +81,12 @@ impl AccountStage {
         self.cluster_power_w
     }
 
+    /// Cumulative load energy delivered up to `now`, joules — the
+    /// RAPL-style counter the trace recorder stamps into each slot.
+    pub fn load_joules(&self, now: SimTime) -> f64 {
+        self.meter.load_joules(now)
+    }
+
     /// Recompute aggregate power and push the step change into the
     /// meter. Called on *every* power-changing event, not just slots.
     pub(crate) fn sync_power(

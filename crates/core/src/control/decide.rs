@@ -65,14 +65,48 @@ impl DecideStage {
                 inflight: n.inflight(),
             }
         }));
+        self.snapshot_scratch = snaps;
+        self.run_snapshots(
+            now,
+            view,
+            supply_w,
+            cfg,
+            node_dead,
+            battery.soc(),
+            battery.stored_j(),
+            flows,
+            actions,
+        );
+    }
+
+    /// Decision half of [`Self::run`]: consumes the already-filled
+    /// snapshot scratch, so backends that observe nodes through a
+    /// transport (trace replay, sysfs) instead of simulator structs run
+    /// the *identical* decision code — [`NodeSnapshot::target`] is the
+    /// node's commanded P-state, so the watchdog fallback reads it from
+    /// the snapshots rather than the nodes.
+    #[allow(clippy::too_many_arguments)] // two call sites: the slot drivers
+    pub(crate) fn run_snapshots(
+        &mut self,
+        now: SimTime,
+        view: &ClusterView,
+        supply_w: f64,
+        cfg: &ClusterConfig,
+        node_dead: &[bool],
+        battery_soc: f64,
+        battery_stored_j: f64,
+        flows: &BatteryFlows,
+        actions: &mut Vec<Action>,
+    ) {
+        let snaps = std::mem::take(&mut self.snapshot_scratch);
         let input = ControlInput {
             now,
             supply_w,
             demand_w: view.observed_w,
             condition: view.condition,
             nodes: snaps,
-            battery_soc: battery.soc(),
-            battery_stored_j: battery.stored_j(),
+            battery_soc,
+            battery_stored_j,
             battery_max_discharge_w: cfg.aggregate_nameplate_w(),
             battery_max_charge_w: cfg.aggregate_nameplate_w() * 0.25,
             battery_discharging_w: flows.discharge_w,
@@ -84,8 +118,8 @@ impl DecideStage {
             let safe = self
                 .safe_pstate
                 .expect("watchdog implies a fault plan and thus a safe state");
-            for (i, n) in nodes.iter().enumerate() {
-                if !node_dead[i] && n.target_pstate() != safe {
+            for (i, s) in input.nodes.iter().enumerate() {
+                if !node_dead[i] && s.target != safe {
                     actions.push(Action::SetPState { node: i, target: safe });
                 }
             }

@@ -8,11 +8,36 @@
 //! hot path never pays for learning — it is amortized here, into the
 //! control slot.
 
+use super::plane::NodeObs;
 use super::TelemetryFrame;
 use crate::node::ComputeNode;
 use netsim::nlb::{ForwardingPolicy, Nlb};
 use netsim::request::UrlId;
 use profiler::{MixTracker, PowerProfiler, ProfilerReport};
+
+/// Normalize a throttled node's reading to its nominal-equivalent by
+/// inverting the hardware-calibrated power model: P = idle(p) +
+/// u^e·I·s(p,γ)·H is linear in the mix intensity I at *every* P-state,
+/// so learning continues while DVFS throttles — which is exactly when
+/// attribution matters most. Only the per-URL intensities stay unknown;
+/// the server power curve is the operator's.
+///
+/// Shared by the in-sim learning pass and the trace recorder (the
+/// recorded `learn_power_w` must be bit-identical to what the sim's own
+/// pass computed).
+pub(crate) fn normalized_power(node: &ComputeNode, power_w: Option<f64>) -> Option<f64> {
+    let (_, _, gamma) = node.load_character();
+    let state = node.effective_pstate();
+    let model = node.model();
+    if state == node.table().max_state() {
+        power_w
+    } else {
+        let s = model.dvfs_factor(state, gamma);
+        power_w
+            .filter(|_| s > 1e-6)
+            .map(|w| model.idle_w + (w - model.idle_power(state)) / s)
+    }
+}
 
 /// Online-attribution stage: the RLS engine plus the per-node in-flight
 /// mix it learns from.
@@ -42,24 +67,8 @@ impl LearnStage {
                 Some(readings) => readings[i],
                 None => Some(node.power_w()),
             };
-            // A throttled node's reading is normalized to its
-            // nominal-equivalent by inverting the hardware-calibrated
-            // power model: P = idle(p) + u^e·I·s(p,γ)·H is linear in
-            // the mix intensity I at *every* P-state, so learning
-            // continues while DVFS throttles — which is exactly when
-            // attribution matters most. Only the per-URL intensities
-            // stay unknown; the server power curve is the operator's.
-            let (utilization, _, gamma) = node.load_character();
-            let state = node.effective_pstate();
-            let model = node.model();
-            let power_w = if state == node.table().max_state() {
-                power_w
-            } else {
-                let s = model.dvfs_factor(state, gamma);
-                power_w
-                    .filter(|_| s > 1e-6)
-                    .map(|w| model.idle_w + (w - model.idle_power(state)) / s)
-            };
+            let power_w = normalized_power(node, power_w);
+            let (utilization, _, _) = node.load_character();
             let mix = self.mix.mix_of(i);
             self.engine.observe_node(power_w, utilization, true, &mix);
         }
@@ -68,6 +77,25 @@ impl LearnStage {
                 classes.clone_from(self.engine.list().classes());
             }
         }
+    }
+
+    /// The same learning pass driven from recorded [`NodeObs`]
+    /// observations instead of live simulator nodes: the sensor side
+    /// already normalized the reading and snapshotted the mix, so the
+    /// engine sees bit-identical inputs to the in-sim pass. There is no
+    /// NLB on the live side; callers that want the updated suspect list
+    /// read it off `engine.list()` when this returns true.
+    pub fn run_observed(&mut self, obs: &[NodeObs], node_dead: &[bool]) -> bool {
+        let mut mix_scratch: Vec<(UrlId, u32)> = Vec::new();
+        for (i, o) in obs.iter().enumerate() {
+            if node_dead[i] {
+                continue;
+            }
+            mix_scratch.clear();
+            mix_scratch.extend(o.mix.iter().map(|&(u, c)| (UrlId(u), c)));
+            self.engine.observe_node(o.learn_power_w, o.utilization, true, &mix_scratch);
+        }
+        self.engine.end_tick()
     }
 
     /// Dataplane hook: a request was dispatched to `node`.

@@ -39,6 +39,7 @@ pub mod act;
 pub mod decide;
 pub mod filter;
 pub mod learn;
+pub mod plane;
 pub mod sense;
 
 use crate::config::ClusterConfig;

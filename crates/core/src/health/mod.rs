@@ -18,8 +18,11 @@
 //! * [`ActuatorVerify`] — commanded P-states are read back next slot;
 //!   mismatches are retried with bounded exponential backoff.
 
+pub mod staleness;
+
 use powercap::pstate::PState;
 use simcore::{SimDuration, SimTime};
+use staleness::LastGood;
 
 /// Aggregate power estimate built from partially-faulty sensors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,13 +35,13 @@ pub struct TelemetryEstimate {
     pub blind_nodes: usize,
 }
 
-/// Last-good-value telemetry estimator with a staleness deadline.
+/// Last-good-value telemetry estimator with a staleness deadline, built
+/// on the shared [`LastGood`] hold (the identical expiry arithmetic the
+/// live daemon's sample bridging uses).
 #[derive(Debug, Clone)]
 pub struct TelemetryHealth {
     /// Most recent good sample per node, with its timestamp.
-    last_good: Vec<Option<(SimTime, f64)>>,
-    /// How long a held sample stays usable.
-    staleness: SimDuration,
+    last_good: LastGood<f64>,
 }
 
 impl TelemetryHealth {
@@ -46,8 +49,7 @@ impl TelemetryHealth {
     /// `staleness`.
     pub fn new(n_nodes: usize, staleness: SimDuration) -> Self {
         TelemetryHealth {
-            last_good: vec![None; n_nodes],
-            staleness,
+            last_good: LastGood::new(n_nodes, staleness),
         }
     }
 
@@ -69,13 +71,13 @@ impl TelemetryHealth {
         for (i, reading) in readings.iter().enumerate() {
             match reading {
                 Some(w) => {
-                    self.last_good[i] = Some((now, *w));
+                    self.last_good.update(i, now, *w);
                     power_w += w;
                     fresh += 1;
                 }
-                None => match self.last_good[i] {
-                    Some((t, w)) if now.since(t) <= self.staleness => power_w += w,
-                    _ => {
+                None => match self.last_good.get(i, now) {
+                    Some(w) => power_w += w,
+                    None => {
                         power_w += nameplate_w;
                         blind += 1;
                     }
@@ -93,7 +95,7 @@ impl TelemetryHealth {
     /// Forget a node's held sample (it crashed; its next reading comes
     /// from fresh hardware).
     pub fn forget(&mut self, node: usize) {
-        self.last_good[node] = None;
+        self.last_good.forget(node);
     }
 }
 
@@ -576,6 +578,58 @@ mod tests {
         w.close_slot();
         assert!(w.any_engaged());
         assert_eq!(w.degraded_slots(), 1);
+        assert_eq!(w.episodes(), 1);
+    }
+
+    /// Engagement boundary: the engines set `engage_slots` to the
+    /// telemetry staleness window, so a blackout that ends *exactly* at
+    /// the window must engage on its final blind slot — and a blackout
+    /// one slot shorter must never engage (the last-good estimator is
+    /// still bridging it).
+    #[test]
+    fn shard_blackout_ending_exactly_at_the_staleness_window_engages() {
+        // Window = 3 slots, one slot shorter: never engages.
+        let mut short = ShardWatchdog::new(1, 3, 2);
+        for t in 1..=2 {
+            assert!(!short.observe(s(t), 0, 0, 4));
+            short.close_slot();
+        }
+        assert!(!short.observe(s(3), 0, 4, 4), "telemetry back before the window");
+        short.close_slot();
+        assert_eq!((short.degraded_slots(), short.episodes()), (0, 0));
+
+        // Exactly the window: the third consecutive blind slot engages.
+        let mut exact = ShardWatchdog::new(1, 3, 2);
+        assert!(!exact.observe(s(1), 0, 0, 4));
+        exact.close_slot();
+        assert!(!exact.observe(s(2), 0, 0, 4));
+        exact.close_slot();
+        assert!(exact.observe(s(3), 0, 0, 4), "blind slot {} = window engages", 3);
+        exact.close_slot();
+        assert_eq!((exact.degraded_slots(), exact.episodes()), (1, 1));
+    }
+
+    /// Recovery boundary: with `recovery_slots = r`, the shard stays
+    /// capped through healthy slots `1..r-1` and releases *on* the
+    /// r-th — not one early, not one late.
+    #[test]
+    fn shard_recovery_releases_exactly_at_the_threshold_slot() {
+        let r = 3;
+        let mut w = ShardWatchdog::new(1, 1, r);
+        assert!(w.observe(s(0), 0, 0, 2), "single blind slot engages at threshold 1");
+        w.close_slot();
+        for t in 1..u64::from(r) {
+            assert!(w.observe(s(t), 0, 2, 2), "healthy slot {t} is still probation");
+            w.close_slot();
+        }
+        assert!(
+            !w.observe(s(u64::from(r)), 0, 2, 2),
+            "healthy slot {r} must release, not extend probation"
+        );
+        w.close_slot();
+        assert!(!w.any_engaged());
+        // Engaged on the blind slot plus r-1 probation slots.
+        assert_eq!(w.degraded_slots(), u64::from(r));
         assert_eq!(w.episodes(), 1);
     }
 

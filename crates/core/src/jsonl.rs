@@ -1,0 +1,492 @@
+//! A minimal, exact JSON value model with an emitter and a parser.
+//!
+//! The control-plane trace (see [`crate::control::plane`]) must round-
+//! trip **bit-exactly**: a replayed slot has to feed the pipeline the
+//! same `f64`s the simulator recorded, or sim/live parity dies in the
+//! last ulp. This codec guarantees that by construction:
+//!
+//! * floats are emitted with Rust's shortest-roundtrip formatting
+//!   (`{:?}`), which `str::parse::<f64>` inverts exactly;
+//! * integers are emitted as decimal `u64`/`i64` and re-parsed with the
+//!   integer parsers, never through an `f64` (no 2^53 cliff);
+//! * [`Json::Num`] stores the raw token, so a number is only committed
+//!   to a width/signedness when the schema asks for one.
+//!
+//! It is deliberately small — objects are ordered `Vec`s, there is no
+//! zero-copy path — because trace records are written once per control
+//! slot, far off any hot path.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers keep their raw source token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, as its raw literal token.
+    Num(String),
+    /// A string (already unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Integer value.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Float value, shortest-roundtrip formatted.
+    pub fn f64(v: f64) -> Json {
+        Json::Num(format!("{v:?}"))
+    }
+
+    /// String value.
+    pub fn str(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+
+    /// `Some(v)` → `f(v)`, `None` → `null`.
+    pub fn opt<T>(v: &Option<T>, f: impl Fn(&T) -> Json) -> Json {
+        match v {
+            Some(x) => f(x),
+            None => Json::Null,
+        }
+    }
+
+    // -- extraction (all return a message naming what was expected) --
+
+    /// This value as a bool.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    /// This value as a `u64` (exact integer parse).
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => raw.parse::<u64>().map_err(|e| format!("bad u64 {raw:?}: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// This value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    /// This value as a `u32`.
+    pub fn as_u32(&self) -> Result<u32, String> {
+        let v = self.as_u64()?;
+        u32::try_from(v).map_err(|_| format!("{v} out of u32 range"))
+    }
+
+    /// This value as a `u8`.
+    pub fn as_u8(&self) -> Result<u8, String> {
+        let v = self.as_u64()?;
+        u8::try_from(v).map_err(|_| format!("{v} out of u8 range"))
+    }
+
+    /// This value as an `f64` (exact shortest-roundtrip inverse).
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(raw) => raw.parse::<f64>().map_err(|e| format!("bad f64 {raw:?}: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// This value as an array.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// This value as an object.
+    pub fn as_obj(&self) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    /// Required object field.
+    pub fn get(&self, key: &str) -> Result<&Json, String> {
+        for (k, v) in self.as_obj()? {
+            if k == key {
+                return Ok(v);
+            }
+        }
+        Err(format!("missing field {key:?}"))
+    }
+
+    /// Optional object field: absent or `null` both read as `None`.
+    pub fn get_opt(&self, key: &str) -> Result<Option<&Json>, String> {
+        for (k, v) in self.as_obj()? {
+            if k == key {
+                return Ok(if matches!(v, Json::Null) { None } else { Some(v) });
+            }
+        }
+        Ok(None)
+    }
+
+    // -- rendering --
+
+    /// Render to a compact single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON document from `src` (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser { src: src.as_bytes(), at: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.src.len() {
+            return Err(format!("trailing data at byte {}", p.at));
+        }
+        Ok(v)
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.at) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.src[self.at..].starts_with(token.as_bytes()) {
+            self.at += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') if self.eat("null") => Ok(Json::Null),
+            Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            // `inf`/`NaN` appear only if someone recorded a non-finite
+            // float; accept them so the error surfaces at the schema
+            // layer ("power was NaN") instead of as a parse failure.
+            Some(b'N') if self.eat("NaN") => Ok(Json::Num("NaN".to_string())),
+            Some(b'i') if self.eat("inf") => Ok(Json::Num("inf".to_string())),
+            Some(_) => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+            if self.eat("inf") {
+                return Ok(Json::Num("-inf".to_string()));
+            }
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-' => self.at += 1,
+                _ => break,
+            }
+        }
+        if self.at == start {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        let raw = std::str::from_utf8(&self.src[start..self.at])
+            .map_err(|_| "non-utf8 number token".to_string())?;
+        // Validate now so extraction errors can't hide a parse error.
+        raw.parse::<f64>().map_err(|e| format!("bad number {raw:?}: {e}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.at += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            match b {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                if !self.eat("\\u") {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad low surrogate".to_string());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad codepoint {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.src[self.at..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.at + 4;
+        let hex = self
+            .src
+            .get(self.at..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or("truncated \\u escape")?;
+        let v = u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape: {e}"))?;
+        self.at = end;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.at += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.at += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(format!("expected object key at byte {}", self.at));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(format!("expected ':' at byte {}", self.at));
+            }
+            self.at += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            0.1,
+            1.0 / 3.0,
+            123_456.789_012_345,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1e-300,
+            -2.5e17,
+        ] {
+            let j = Json::f64(v);
+            let text = j.render();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} mangled via {text}");
+        }
+    }
+
+    #[test]
+    fn u64_round_trips_exactly_beyond_2_53() {
+        let v = u64::MAX - 12345;
+        let text = Json::u64(v).render();
+        assert_eq!(Json::parse(&text).unwrap().as_u64().unwrap(), v);
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let doc = Json::Obj(vec![
+            ("label".to_string(), Json::str("Token@Low-PB \"quoted\" \\ line\nbreak")),
+            ("flag".to_string(), Json::Bool(true)),
+            ("nothing".to_string(), Json::Null),
+            (
+                "items".to_string(),
+                Json::Arr(vec![Json::u64(1), Json::f64(2.5), Json::Arr(vec![])]),
+            ),
+        ]);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("not json").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "Aé😀");
+    }
+
+    #[test]
+    fn get_opt_treats_null_and_absent_alike() {
+        let v = Json::parse("{\"a\":null,\"b\":1}").unwrap();
+        assert!(v.get_opt("a").unwrap().is_none());
+        assert!(v.get_opt("c").unwrap().is_none());
+        assert_eq!(v.get_opt("b").unwrap().unwrap().as_u64().unwrap(), 1);
+    }
+}

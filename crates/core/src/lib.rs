@@ -49,6 +49,7 @@ pub mod config;
 pub mod control;
 pub mod dpm;
 pub mod health;
+pub mod jsonl;
 pub mod node;
 pub mod pdf;
 pub mod request_control;
@@ -61,11 +62,17 @@ pub mod testutil;
 
 pub use cluster::ClusterSim;
 pub use config::{ClusterConfig, ConfigError, ControlPlaneConfig, ExperimentConfig, SchemeKind};
+pub use control::plane::{
+    ActionRecord, ActuationTransport, BatteryObs, ConditionRecord, ControlClock, ControlTrace,
+    DecisionRecord, Forget, ForgetKind, NodeObs, PlaneSample, ShardGuard, SlotRecord, SlotTick,
+    TelemetryTransport, TraceFooter, TraceRecorder, TransportError, ViewRecord,
+    TRACE_SCHEMA_VERSION,
+};
 pub use control::{ClusterView, ControlPipeline, TelemetryFrame};
 pub use health::{ActuatorVerify, ShardWatchdog, TelemetryHealth, Watchdog};
 pub use node::ComputeNode;
 pub use results::{FaultReport, RetryReport, SimReport};
-pub use runner::{run_experiment, run_matrix};
+pub use runner::{record_experiment, run_experiment, run_matrix};
 pub use shard::ShardedClusterSim;
 
 

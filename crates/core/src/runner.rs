@@ -8,6 +8,7 @@
 
 use crate::cluster::ClusterSim;
 use crate::config::{ClusterConfig, ExperimentConfig, SchemeKind};
+use crate::control::plane::ControlTrace;
 use crate::results::SimReport;
 use crate::shard::ShardedClusterSim;
 use powercap::BudgetLevel;
@@ -44,6 +45,20 @@ pub fn run_experiment(exp: &ExperimentConfig, factory: &dyn SourceFactory) -> Si
         ShardedClusterSim::run(exp, factory.build(exp))
     } else {
         ClusterSim::run(exp, factory.build(exp))
+    }
+}
+
+/// [`run_experiment`] with a control-plane trace recorder attached:
+/// same engine dispatch, same simulation byte-for-byte (recording is
+/// read-only), plus the per-slot trace the live replay backend consumes.
+pub fn record_experiment(
+    exp: &ExperimentConfig,
+    factory: &dyn SourceFactory,
+) -> (SimReport, ControlTrace) {
+    if exp.cluster.shards > 1 || exp.cluster.retry.is_some() {
+        ShardedClusterSim::run_recorded(exp, factory.build(exp))
+    } else {
+        ClusterSim::run_recorded(exp, factory.build(exp))
     }
 }
 

@@ -76,6 +76,9 @@
 
 use crate::config::ExperimentConfig;
 use crate::control::act::ActCtx;
+use crate::control::plane::{
+    self, ControlTrace, ForgetKind, TraceRecorder,
+};
 use crate::control::{BatteryFlows, ControlPipeline, FaultLayer};
 use crate::health::ShardWatchdog;
 use crate::node::ComputeNode;
@@ -83,7 +86,7 @@ use crate::results::{
     BatteryReport, EnergyReport, FaultReport, LatencySummary, PowerReport, RetryReport, SimReport,
     ThermalReport, TrafficReport, VfReport,
 };
-use crate::scheme::{self, Action, PowerScheme};
+use crate::scheme::{self, PowerScheme};
 use crate::{cluster::Ev, config::ClusterConfig};
 use dcmetrics::availability::RequestOutcome;
 use dcmetrics::{LatencyHistogram, OnlineSummary, SlaTracker, TimeSeries};
@@ -644,6 +647,10 @@ pub struct ShardedClusterSim {
     /// Crashed nodes waiting to reboot (`(due, global node)`), settled
     /// at slot boundaries in node-index order.
     pending_reboots: Vec<(SimTime, usize)>,
+    /// Control-plane trace recorder, when attached. Recording is
+    /// read-only — it draws no randomness and touches no model state —
+    /// so a recorded run stays byte-identical to an unrecorded one.
+    recorder: Option<TraceRecorder>,
     /// Retry / circuit-breaker dataplane, when configured.
     resilience: Option<Resilience>,
 }
@@ -686,22 +693,12 @@ impl ShardedClusterSim {
 
         // Near-even contiguous partition: the first `servers % shards`
         // shards own one extra node. Computed before the pipeline so
-        // fault plans and breaker pools can follow the shard map.
+        // fault plans and breaker pools can follow the shard map; the
+        // layout function is shared with the live replay backends so a
+        // trace-driven shard guard judges by the identical map.
         let master = RngFactory::new(exp.seed);
         let k = cfg.shards;
-        let base = cfg.servers / k;
-        let extra = cfg.servers % k;
-        let mut ranges = Vec::with_capacity(k);
-        let mut owner_shard = vec![0usize; cfg.servers];
-        let mut at = 0usize;
-        for i in 0..k {
-            let len = base + usize::from(i < extra);
-            for o in owner_shard.iter_mut().skip(at).take(len) {
-                *o = i;
-            }
-            ranges.push((at, len));
-            at += len;
-        }
+        let (ranges, owner_shard) = plane::shard_layout(cfg.servers, k);
 
         // One deterministic fault plan per shard, all drawing from the
         // same per-node stream space — no draw crosses a shard boundary,
@@ -782,9 +779,21 @@ impl ShardedClusterSim {
             fault,
             shard_watchdog,
             pending_reboots: Vec::new(),
+            recorder: None,
             resilience,
             config: cfg,
         }
+    }
+
+    /// Attach a control-plane trace recorder; every subsequent slot is
+    /// captured until [`Self::take_recorder`] collects it.
+    pub fn attach_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach the trace recorder, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<TraceRecorder> {
+        self.recorder.take()
     }
 
     /// Run an experiment to completion and produce the report.
@@ -801,22 +810,45 @@ impl ShardedClusterSim {
     ) -> SimReport {
         let mut sim = Self::with_scheme(exp, scheme, sources);
         let horizon = sim.horizon;
-        let slot = sim.config.control_slot;
+        sim.drive_to(horizon);
+        sim.finalize(exp, horizon)
+    }
+
+    /// Run an experiment while recording the control-plane trace (see
+    /// [`crate::cluster::ClusterSim::run_recorded`]).
+    pub fn run_recorded(
+        exp: &ExperimentConfig,
+        sources: Vec<Box<dyn TrafficSource>>,
+    ) -> (SimReport, ControlTrace) {
+        let scheme = scheme::build_scheme(exp.scheme, &exp.cluster);
+        let mut sim = Self::with_scheme(exp, scheme, sources);
+        sim.attach_recorder(TraceRecorder::new(exp));
+        let horizon = sim.horizon;
+        sim.drive_to(horizon);
+        let trace = sim
+            .take_recorder()
+            .expect("recorder attached above")
+            .finish();
+        (sim.finalize(exp, horizon), trace)
+    }
+
+    /// The slot loop: advance window, boundary, repeat to the horizon.
+    fn drive_to(&mut self, horizon: SimTime) {
+        let slot = self.config.control_slot;
         let mut t0 = SimTime::ZERO;
         loop {
             let t1 = t0 + slot;
             if t1 <= horizon {
-                sim.advance_window(t1);
-                sim.boundary(t1);
+                self.advance_window(t1);
+                self.boundary(t1);
                 t0 = t1;
             } else {
                 if t0 < horizon {
-                    sim.advance_window(horizon);
+                    self.advance_window(horizon);
                 }
                 break;
             }
         }
-        sim.finalize(exp, horizon)
     }
 
     /// The shards (exposed for tests and probes).
@@ -1112,6 +1144,9 @@ impl ShardedClusterSim {
             if let Some(learn) = &mut self.pipeline.learn {
                 learn.forget_node(i);
             }
+            if let Some(rec) = &mut self.recorder {
+                rec.note_forget(i, ForgetKind::Learn);
+            }
         }
         tripped.clear();
         self.pipeline.tripped = tripped;
@@ -1154,6 +1189,9 @@ impl ShardedClusterSim {
             }
             if let Some(learn) = &mut self.pipeline.learn {
                 learn.forget_node(node);
+            }
+            if let Some(rec) = &mut self.recorder {
+                rec.note_forget(node, ForgetKind::Learn);
             }
             self.node_dead[node] = false;
             let s = self.owner_shard[node];
@@ -1202,6 +1240,9 @@ impl ShardedClusterSim {
             let reboot_after = f.plan.config().reboot_after;
             self.pipeline.filter.forget_node(g);
             self.pipeline.act.clear_node(g);
+            if let Some(rec) = &mut self.recorder {
+                rec.note_forget(g, ForgetKind::Full);
+            }
             if self.resilience.is_none() {
                 self.nlb.set_health(g, false);
                 self.nlb.report_load(g, 0);
@@ -1241,6 +1282,11 @@ impl ShardedClusterSim {
         if let Some(learn) = &mut self.pipeline.learn {
             for i in 0..self.config.servers {
                 learn.forget_node(i);
+            }
+            if let Some(rec) = &mut self.recorder {
+                for i in 0..self.config.servers {
+                    rec.note_forget(i, ForgetKind::Learn);
+                }
             }
         }
         self.battery.stop(now);
@@ -1313,8 +1359,8 @@ impl ShardedClusterSim {
                 config,
                 fault,
                 shard_watchdog,
-                shards,
                 owner_shard,
+                recorder,
                 ..
             } = self;
             let true_power_w = pipeline.account.cluster_power_w();
@@ -1339,22 +1385,23 @@ impl ShardedClusterSim {
             // sensor health (and thus on the shard layout).
             if let (Some(sw), Some(readings)) = (shard_watchdog.as_mut(), frame.readings.as_ref())
             {
-                for (s, sh) in shards.iter().enumerate() {
-                    let mut fresh = 0;
-                    let mut alive = 0;
-                    for g in sh.start()..sh.start() + sh.len() {
-                        if node_dead[g] {
-                            continue;
-                        }
-                        alive += 1;
-                        if readings[g].is_some() {
-                            fresh += 1;
-                        }
-                    }
-                    sw.observe(now, s, fresh, alive);
-                }
-                sw.close_slot();
+                plane::observe_shard_coverage(
+                    sw,
+                    now,
+                    config.shards,
+                    owner_shard,
+                    node_dead,
+                    readings,
+                );
             }
+            // Pre-sweep commanded states: what the read-back verifier is
+            // about to check against, captured for trace replay.
+            let readback = match (&recorder, &pipeline.act.verify) {
+                (Some(_), Some(_)) => {
+                    Some(nodes.iter().map(|n| n.target_pstate().0).collect::<Vec<u8>>())
+                }
+                _ => None,
+            };
             if let Some(f) = fault.as_mut() {
                 pipeline.act.sweep(now, nodes, node_dead, f, &mut sched);
             }
@@ -1373,26 +1420,32 @@ impl ShardedClusterSim {
             if let Some(sw) = shard_watchdog.as_ref() {
                 if sw.any_engaged() && !view.watchdog_engaged {
                     if let Some(safe) = pipeline.decide.safe_pstate {
-                        actions.retain(|a| match a {
-                            Action::SetPState { node, .. }
-                            | Action::SetPowerLimit { node, .. } => {
-                                !sw.engaged(owner_shard[*node])
-                            }
-                            _ => true,
-                        });
-                        for g in 0..nodes.len() {
-                            if !node_dead[g]
-                                && sw.engaged(owner_shard[g])
-                                && nodes[g].target_pstate() != safe
-                            {
-                                actions.push(Action::SetPState {
-                                    node: g,
-                                    target: safe,
-                                });
-                            }
-                        }
+                        plane::apply_shard_guard(
+                            &mut actions,
+                            sw,
+                            owner_shard,
+                            node_dead,
+                            |g| nodes[g].target_pstate(),
+                            safe,
+                        );
                     }
                 }
+            }
+            if let Some(rec) = recorder.as_mut() {
+                rec.capture_slot(
+                    now,
+                    &frame,
+                    nodes,
+                    node_dead,
+                    readback,
+                    battery,
+                    flows,
+                    &view,
+                    &pipeline.act.retry_scratch,
+                    &actions,
+                    pipeline.account.load_joules(now),
+                    pipeline.learn.as_ref(),
+                );
             }
             pipeline.act.enact(
                 now,

@@ -440,3 +440,61 @@ fn battery_fade_derates_capacity() {
         "{faded_cap} vs half of {base_cap}"
     );
 }
+
+// -------------------------------------------------------------------
+// Control-plane trace recording (the live-plane record/replay surface)
+// -------------------------------------------------------------------
+
+#[test]
+fn recording_leaves_the_legacy_run_byte_identical() {
+    let mut exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Medium, 30, 51);
+    exp.cluster.faults = Some(FaultConfig {
+        sensor_dropout_p: 0.2,
+        actuator_loss_p: 0.3,
+        crashes: vec![CrashEvent {
+            node: 1,
+            at: SimTime::from_secs(10),
+        }],
+        reboot_after: SimDuration::from_secs(8),
+        ..FaultConfig::default()
+    });
+    let sources = || vec![normal_source(51, 30, 60.0), attack_source(51, 300.0, 5, 30)];
+    let plain = ClusterSim::run(&exp, sources());
+    let (recorded, trace) = ClusterSim::run_recorded(&exp, sources());
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{recorded:?}"),
+        "recording must not perturb the simulation"
+    );
+    assert_eq!(trace.slots.len(), 30, "one record per control slot");
+    assert!(trace.footer.peak_true_w > 0.0);
+    // The trace must survive the JSONL round trip bit-exactly.
+    let jsonl = trace.to_jsonl();
+    let back = antidope::ControlTrace::from_jsonl_str(&jsonl).expect("well-formed trace");
+    assert_eq!(format!("{trace:?}"), format!("{back:?}"));
+}
+
+#[test]
+fn recording_leaves_the_sharded_run_byte_identical() {
+    use antidope::ShardedClusterSim;
+    let mut exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Medium, 30, 52);
+    exp.cluster.shards = 2;
+    exp.cluster.faults = Some(FaultConfig {
+        sensor_dropout_p: 0.2,
+        actuator_loss_p: 0.3,
+        blackouts: vec![(SimTime::from_secs(8), SimTime::from_secs(16))],
+        ..FaultConfig::default()
+    });
+    let sources = || vec![normal_source(52, 30, 60.0), attack_source(52, 300.0, 5, 30)];
+    let plain = ShardedClusterSim::run(&exp, sources());
+    let (recorded, trace) = ShardedClusterSim::run_recorded(&exp, sources());
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{recorded:?}"),
+        "recording must not perturb the sharded simulation"
+    );
+    assert_eq!(trace.slots.len(), 30);
+    let jsonl = trace.to_jsonl();
+    let back = antidope::ControlTrace::from_jsonl_str(&jsonl).expect("well-formed trace");
+    assert_eq!(format!("{trace:?}"), format!("{back:?}"));
+}

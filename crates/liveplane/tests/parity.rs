@@ -1,0 +1,258 @@
+//! Sim/live parity: record a control-plane trace from a fixed-seed DES
+//! run, replay it through the live daemon's pipeline, and require the
+//! emitted view/decision sequence and the accounting footer to be
+//! byte-identical (Debug-render equality, which for `f64` is
+//! shortest-roundtrip — bit equality) to what the simulator produced.
+//!
+//! Three cells cover the engine matrix: the legacy event-driven engine
+//! without faults, the legacy engine hardened with chaos faults and the
+//! EW-RLS profiler, and the sharded engine with a telemetry blackout.
+//!
+//! The Token scheme is deliberately absent: its bucket state advances
+//! on every *admitted request* in the dataplane, not once per control
+//! slot, so a slot-rate trace cannot reconstruct it. Every other scheme
+//! decides purely from slot telemetry and replays exactly.
+
+use antidope::testutil::{attack_source, normal_source, quick_exp};
+use antidope::{
+    record_experiment, ConfigError, ControlTrace, ExperimentConfig, SchemeKind, SimReport,
+    SlotTick, TelemetryTransport, TRACE_SCHEMA_VERSION,
+};
+use liveplane::{
+    render_decision, LiveDaemon, ManualClock, MockSysfsWriter, NullActuation, RecordingActuation,
+    ReplayClock, ReplayTelemetry, SlotDisposition, SysfsActuation, SysfsTelemetry,
+};
+use powercap::BudgetLevel;
+use profiler::ProfilerConfig;
+use simcore::faults::{CrashEvent, FaultConfig};
+use simcore::{SimDuration, SimTime};
+use workloads::source::TrafficSource;
+
+fn sources(exp: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+    let horizon = SimTime::ZERO + exp.duration;
+    vec![
+        normal_source(exp.seed, horizon, 60.0),
+        attack_source(exp.seed, 300.0, SimTime::from_secs(5), horizon),
+    ]
+}
+
+fn chaos(exp: &mut ExperimentConfig) {
+    exp.cluster.faults = Some(FaultConfig {
+        sensor_dropout_p: 0.2,
+        actuator_loss_p: 0.3,
+        crashes: vec![CrashEvent { node: 1, at: SimTime::from_secs(20) }],
+        reboot_after: SimDuration::from_secs(8),
+        ..FaultConfig::default()
+    });
+}
+
+/// Record `exp`, replay through the daemon, and require byte parity of
+/// every per-slot view/decision record, the footer, and the profiler
+/// accounting against the sim side.
+fn assert_parity(exp: &ExperimentConfig) -> (SimReport, ControlTrace) {
+    let (report, trace) = record_experiment(exp, &sources);
+    assert!(!trace.slots.is_empty(), "trace must record slots");
+
+    // The JSONL encoding round-trips bit-exactly first.
+    let back = ControlTrace::from_jsonl_str(&trace.to_jsonl()).expect("well-formed trace");
+    assert_eq!(format!("{trace:?}"), format!("{back:?}"), "jsonl round trip");
+
+    let mut daemon = LiveDaemon::new(
+        exp,
+        ReplayClock::from_trace(&trace),
+        ReplayTelemetry::from_trace(&trace),
+        RecordingActuation::new(),
+    );
+    let summary = daemon.run().expect("replay transports cannot fail");
+    assert_eq!(summary.journal.len(), trace.slots.len(), "one outcome per recorded slot");
+    assert_eq!(daemon.actuation().applied.len(), trace.slots.len());
+    for (out, rec) in summary.journal.iter().zip(&trace.slots) {
+        assert_eq!(out.disposition, SlotDisposition::Fresh);
+        assert_eq!(
+            format!("{:?}", out.view.as_ref().expect("fresh slot has a view")),
+            format!("{:?}", rec.view),
+            "view parity at slot {}",
+            rec.slot
+        );
+        assert_eq!(
+            format!("{:?}", out.decisions.as_ref().expect("fresh slot has decisions")),
+            format!("{:?}", rec.decisions),
+            "decision parity at slot {}",
+            rec.slot
+        );
+    }
+    assert_eq!(
+        format!("{:?}", summary.footer()),
+        format!("{:?}", trace.footer),
+        "footer parity"
+    );
+    assert_eq!(
+        format!("{:?}", summary.profiler),
+        format!("{:?}", report.profiler),
+        "profiler accounting parity"
+    );
+    (report, trace)
+}
+
+#[test]
+fn parity_legacy_no_faults() {
+    let exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Medium, 60, 2019);
+    let (report, trace) = assert_parity(&exp);
+    assert_eq!(trace.slots.len(), 60);
+    assert!(report.power.peak_w > 0.0);
+}
+
+#[test]
+fn parity_legacy_chaos_with_profiler() {
+    let mut exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Low, 60, 2019);
+    chaos(&mut exp);
+    exp.cluster.profiler = Some(ProfilerConfig::default());
+    let (report, trace) = assert_parity(&exp);
+    assert!(report.profiler.is_some(), "profiler cell must report attribution");
+    assert!(trace.footer.retries > 0, "actuator loss must surface read-back retries");
+}
+
+#[test]
+fn parity_sharded_chaos_blackout() {
+    let mut exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Medium, 60, 2019);
+    exp.cluster.shards = 2;
+    exp.cluster.faults = Some(FaultConfig {
+        sensor_dropout_p: 0.2,
+        actuator_loss_p: 0.3,
+        blackouts: vec![(SimTime::from_secs(10), SimTime::from_secs(20))],
+        ..FaultConfig::default()
+    });
+    let (_, trace) = assert_parity(&exp);
+    assert_eq!(trace.slots.len(), 60);
+}
+
+#[test]
+fn schema_mismatch_is_a_typed_error() {
+    let exp = quick_exp(SchemeKind::Capping, BudgetLevel::Medium, 10, 2019);
+    let (_, trace) = record_experiment(&exp, &sources);
+    let jsonl = trace.to_jsonl();
+    let bumped = jsonl.replacen("\"schema\":1", "\"schema\":99", 1);
+    assert_ne!(bumped, jsonl, "header must carry the schema field");
+    match ControlTrace::from_jsonl_str(&bumped) {
+        Err(ConfigError::TraceSchema { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, TRACE_SCHEMA_VERSION);
+        }
+        other => panic!("expected a typed schema error, got {other:?}"),
+    }
+}
+
+#[test]
+fn sysfs_backend_round_trips_and_matches_the_trace() {
+    let mut exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Low, 30, 2019);
+    chaos(&mut exp);
+    let (_, trace) = record_experiment(&exp, &sources);
+    let dir = std::env::temp_dir().join(format!("liveplane-sysfs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let writer = MockSysfsWriter::new(&dir);
+    let ticks: Vec<SlotTick> = trace
+        .slots
+        .iter()
+        .map(|s| SlotTick { slot: s.slot, now: s.now, missed_deadline: false })
+        .collect();
+    let mut daemon = LiveDaemon::new(
+        &exp,
+        ManualClock::new(ticks.clone()),
+        SysfsTelemetry::new(&dir, exp.cluster.servers),
+        SysfsActuation::new(&dir),
+    );
+    // Interleave: the "sensor agent" publishes each slot, then the
+    // daemon ticks — never stale, every slot fresh off the file tree.
+    let mut expected_log = String::new();
+    for (tick, rec) in ticks.iter().zip(&trace.slots) {
+        writer.publish(tick, &rec.sample).expect("publish slot");
+        let out = daemon.step().expect("step").expect("a slot outcome");
+        assert_eq!(out.disposition, SlotDisposition::Fresh);
+        assert_eq!(
+            format!("{:?}", out.decisions.as_ref().expect("fresh")),
+            format!("{:?}", rec.decisions),
+            "sysfs decision parity at slot {}",
+            rec.slot
+        );
+        expected_log.push_str(&render_decision(rec.now, &rec.decisions));
+    }
+    // Every float survived the file round trip bit-exactly.
+    let last = ticks.last().expect("non-empty trace");
+    let mut reader = SysfsTelemetry::new(&dir, exp.cluster.servers);
+    let sample = reader.sample(last).expect("read published slot");
+    let rec_sample = &trace.slots.last().expect("non-empty").sample;
+    assert_eq!(format!("{sample:?}"), format!("{rec_sample:?}"), "sysfs sample round trip");
+    // The DVFS command journal equals the sim-side rendering.
+    let log = std::fs::read_to_string(dir.join("actuate/commands.log")).expect("command log");
+    assert_eq!(log, expected_log);
+    assert_eq!(format!("{:?}", daemon.summary().footer()), format!("{:?}", trace.footer));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_bridges_stale_slots_then_goes_blind() {
+    let mut exp = quick_exp(SchemeKind::AntiDope, BudgetLevel::Low, 20, 2019);
+    chaos(&mut exp);
+    let (_, trace) = record_experiment(&exp, &sources);
+    let dir = std::env::temp_dir().join(format!("liveplane-stale-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Publish only slot 0; every later tick finds the counter lagging.
+    let first = &trace.slots[0];
+    let t0 = SlotTick { slot: first.slot, now: first.now, missed_deadline: false };
+    MockSysfsWriter::new(&dir).publish(&t0, &first.sample).expect("publish slot 0");
+
+    let window = exp.cluster.control.telemetry_staleness_slots;
+    let slot_d = exp.cluster.control_slot;
+    let ticks: Vec<SlotTick> = (0..=window + 1)
+        .map(|k| SlotTick { slot: k, now: first.now + slot_d * k, missed_deadline: k > 0 })
+        .collect();
+    let mut daemon = LiveDaemon::new(
+        &exp,
+        ManualClock::new(ticks),
+        SysfsTelemetry::new(&dir, exp.cluster.servers),
+        NullActuation,
+    );
+    let summary = daemon.run().expect("stale slots are handled, not errors");
+    let dispositions: Vec<SlotDisposition> =
+        summary.journal.iter().map(|o| o.disposition).collect();
+    assert_eq!(dispositions[0], SlotDisposition::Fresh);
+    // Within the window (boundary inclusive) the held sample bridges...
+    for (k, d) in dispositions.iter().enumerate().take(window as usize + 1).skip(1) {
+        assert_eq!(*d, SlotDisposition::Bridged, "slot {k} within the window");
+    }
+    // ...one slot past it the daemon is blind and skips the pass.
+    assert_eq!(dispositions[window as usize + 1], SlotDisposition::Blind);
+    assert_eq!(summary.bridged_slots, window);
+    assert_eq!(summary.blind_slots, 1);
+    assert_eq!(summary.missed_deadlines, window + 1);
+    assert_eq!(summary.slots, window + 1, "fresh + bridged passes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_telemetry_exhaustion_ends_the_run_cleanly() {
+    let exp = quick_exp(SchemeKind::Shaving, BudgetLevel::Medium, 10, 2019);
+    let (_, trace) = record_experiment(&exp, &sources);
+    let mut ticks: Vec<SlotTick> = trace
+        .slots
+        .iter()
+        .map(|s| SlotTick { slot: s.slot, now: s.now, missed_deadline: false })
+        .collect();
+    let last = *ticks.last().expect("non-empty");
+    ticks.push(SlotTick {
+        slot: last.slot + 1,
+        now: last.now + exp.cluster.control_slot,
+        missed_deadline: false,
+    });
+    let mut daemon = LiveDaemon::new(
+        &exp,
+        ManualClock::new(ticks),
+        ReplayTelemetry::from_trace(&trace),
+        NullActuation,
+    );
+    let summary = daemon.run().expect("exhaustion is a clean end");
+    assert_eq!(summary.slots, trace.slots.len() as u64);
+    assert_eq!(format!("{:?}", summary.footer()), format!("{:?}", trace.footer));
+}

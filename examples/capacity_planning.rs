@@ -7,11 +7,13 @@
 //! much provisioning Anti-DOPE buys back.
 //!
 //! ```text
-//! cargo run --release --example capacity_planning [-- --shards N]
+//! cargo run --release --example capacity_planning [-- --shards N] [-- --retry]
 //! ```
 //!
 //! `--shards N` (default 1) runs every cell on the sharded parallel
-//! engine with `N` dataplane shards.
+//! engine with `N` dataplane shards. `--retry` enables client-side
+//! request resilience in every cell and appends its aggregate retry
+//! accounting per scheme.
 
 use antidope_repro::prelude::*;
 use dcmetrics::export::Table;
@@ -19,24 +21,31 @@ use rayon::prelude::*;
 
 const SLA_P90_MS: f64 = 100.0;
 
-/// Parse `--shards N` / `--shards=N` from the command line (default 1).
-fn shards_arg() -> usize {
+/// Parse `--shards N` / `--shards=N` and `--retry` from the command
+/// line (defaults: 1 shard, no retry).
+fn cli_args() -> (usize, bool) {
+    let mut shards = 1;
+    let mut retry = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if a == "--retry" {
+            retry = true;
+            continue;
+        }
         let value = if a == "--shards" {
             args.next()
         } else {
             a.strip_prefix("--shards=").map(str::to_string)
         };
         if let Some(v) = value {
-            return v.parse().expect("--shards expects a positive integer");
+            shards = v.parse().expect("--shards expects a positive integer");
         }
     }
-    1
+    (shards, retry)
 }
 
 fn main() {
-    let shards = shards_arg();
+    let (shards, retry) = cli_args();
     const RATES: [f64; 4] = [0.0, 200.0, 390.0, 600.0];
     let rates = RATES;
     let budgets = BudgetLevel::ALL;
@@ -88,6 +97,9 @@ fn main() {
             let mut exp =
                 ExperimentConfig::paper_window(ClusterConfig::paper_rack(budget), scheme, 11);
             exp.cluster.shards = shards;
+            if retry {
+                exp.cluster.retry = Some(RetryConfig::default());
+            }
             exp.duration = SimDuration::from_secs(120);
             (scheme, budget, rate, antidope::run_experiment(&exp, &factory))
         })
@@ -124,6 +136,31 @@ fn main() {
             t.push_row(row);
         }
         println!("{}", t.to_text());
+        // Aggregate resilience accounting across the scheme's cells.
+        let totals = reports
+            .iter()
+            .filter(|(s, ..)| *s == scheme)
+            .filter_map(|(.., r)| r.retry.as_ref())
+            .fold(RetryReport::default(), |mut acc, r| {
+                acc.attempts += r.attempts;
+                acc.recovered += r.recovered;
+                acc.exhausted += r.exhausted;
+                acc.breaker_trips += r.breaker_trips;
+                acc.rerouted += r.rerouted;
+                acc
+            });
+        if retry {
+            println!(
+                "  resilience across {} cells: {} retry attempts, {} recovered, \
+                 {} exhausted, {} breaker trips, {} rerouted\n",
+                budgets.len() * rates.len(),
+                totals.attempts,
+                totals.recovered,
+                totals.exhausted,
+                totals.breaker_trips,
+                totals.rerouted
+            );
+        }
     }
     println!("Cells marked '!' violate the SLA; Anti-DOPE holds it at deeper oversubscription.");
 }

@@ -2,33 +2,42 @@
 //! compare Anti-DOPE against plain power capping.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-- --shards N]
+//! cargo run --release --example quickstart [-- --shards N] [-- --retry]
 //! ```
 //!
 //! `--shards N` (default 1) runs the sharded parallel engine with `N`
 //! dataplane shards; the default keeps the original event-driven
-//! engine.
+//! engine. `--retry` switches on client-side request resilience
+//! (timeout + capped exponential backoff + pool circuit breakers) and
+//! prints each run's retry accounting.
 
 use antidope_repro::prelude::*;
 
-/// Parse `--shards N` / `--shards=N` from the command line (default 1).
-fn shards_arg() -> usize {
+/// Parse `--shards N` / `--shards=N` and `--retry` from the command
+/// line (defaults: 1 shard, no retry).
+fn cli_args() -> (usize, bool) {
+    let mut shards = 1;
+    let mut retry = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if a == "--retry" {
+            retry = true;
+            continue;
+        }
         let value = if a == "--shards" {
             args.next()
         } else {
             a.strip_prefix("--shards=").map(str::to_string)
         };
         if let Some(v) = value {
-            return v.parse().expect("--shards expects a positive integer");
+            shards = v.parse().expect("--shards expects a positive integer");
         }
     }
-    1
+    (shards, retry)
 }
 
 fn main() {
-    let shards = shards_arg();
+    let (shards, retry) = cli_args();
     // A Colla-Filt flood at 390 req/s spread over 40 bots: each agent
     // stays far below the firewall's 150 req/s rule, but together they
     // push the rack past its oversubscribed power budget.
@@ -75,6 +84,9 @@ fn main() {
             42,
         );
         exp.cluster.shards = shards;
+        if retry {
+            exp.cluster.retry = Some(RetryConfig::default());
+        }
         exp.duration = SimDuration::from_secs(120);
         let report = antidope::run_experiment(&exp, &factory);
         println!("{}", report.oneline());
@@ -85,9 +97,17 @@ fn main() {
             report.availability() * 100.0
         );
         println!(
-            "    power: avg {:.0} W / peak {:.0} W against a {:.0} W budget ({} violating slots)\n",
+            "    power: avg {:.0} W / peak {:.0} W against a {:.0} W budget ({} violating slots)",
             report.power.avg_w, report.power.peak_w, report.power.supply_w, report.power.violations
         );
+        if let Some(r) = &report.retry {
+            println!(
+                "    resilience: {} retry attempts, {} recovered, {} exhausted, \
+                 {} breaker trips, {} rerouted",
+                r.attempts, r.recovered, r.exhausted, r.breaker_trips, r.rerouted
+            );
+        }
+        println!();
     }
     println!(
         "Anti-DOPE isolates the high-power flows on a suspect node and throttles\n\

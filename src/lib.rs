@@ -11,9 +11,12 @@
 //! * [`workloads`] — EC service kernels, traces, attackers, DOPE
 //! * [`profiler`] — online power attribution and adaptive suspect lists
 //! * [`antidope`] — PDF + RPM/DPM, baselines, cluster simulator
+//! * [`liveplane`] — live control-plane host: trace replay, mock sysfs,
+//!   wall-clock daemon, sim/live parity
 
 pub use antidope;
 pub use dcmetrics;
+pub use liveplane;
 pub use netsim;
 pub use powercap;
 pub use profiler;
@@ -26,6 +29,8 @@ pub mod prelude {
         run_experiment, run_matrix, ClusterConfig, ClusterSim, ExperimentConfig, FaultReport,
         RetryReport, SchemeKind, SimReport,
     };
+    pub use antidope::{record_experiment, ControlTrace};
+    pub use liveplane::{LiveDaemon, LiveSummary, ReplayClock, ReplayTelemetry};
     pub use netsim::RetryConfig;
     pub use powercap::BudgetLevel;
     pub use profiler::{AdaptiveSuspectList, PowerProfiler, ProfilerConfig, ProfilerReport};

@@ -13,13 +13,16 @@
 //!
 //! The scenario is a 1000-node cluster under a 100 000-user population
 //! plus the standard Colla-Filt flood, run at shard counts 1, 2, 4 and
-//! 8. `shards: 1` dispatches to the original event-driven engine —
-//! whose power accounting rescans all n nodes on every event — so the
-//! 1-shard row is the true baseline users get today. The sharded rows
-//! measure the data-oriented engine: O(1) incremental power sums,
-//! slot-batched control, and (with a real thread pool) parallel shard
-//! advancement. The headline metric is simulated requests per second of
-//! wall time.
+//! 8 in two layouts: flat (no power topology) and multi-rack (25 racks
+//! / 5 PDUs with per-level budgets, rack breakers and the rack guard).
+//! In the flat layout `shards: 1` dispatches to the original
+//! event-driven engine — whose power accounting rescans all n nodes on
+//! every event — so that row is the true baseline users get today; any
+//! multi-rack run uses the sharded engine. The sharded rows measure the
+//! data-oriented engine: O(1) incremental power sums, slot-batched
+//! control, and (with a real thread pool) parallel shard advancement;
+//! the multi-rack rows add the hierarchical allocator's per-slot cost.
+//! The headline metric is simulated requests per second of wall time.
 
 use antidope::config::{ClusterConfig, ExperimentConfig, SchemeKind};
 use antidope::results::SimReport;
@@ -31,13 +34,18 @@ use std::time::Instant;
 use workloads::source::TrafficSource;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// (racks, pdus) layouts to sweep: flat, then a 25-rack / 5-PDU tree.
+const LAYOUTS: [(usize, usize); 2] = [(1, 1), (25, 5)];
 
 /// The 1000-node scaling cluster.
-fn big_cluster(shards: usize) -> ClusterConfig {
+fn big_cluster(shards: usize, racks: usize, pdus: usize) -> ClusterConfig {
     let mut cluster = ClusterConfig::scaled(BudgetLevel::Medium);
     cluster.servers = 1000;
     cluster.suspect_pool_size = 50;
     cluster.shards = shards;
+    if racks > 1 {
+        cluster.topology = Some(antidope::TopologyConfig::with_racks(racks, pdus));
+    }
     cluster
 }
 
@@ -72,6 +80,7 @@ fn sources(exp: &ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
 }
 
 struct Row {
+    racks: usize,
     shards: usize,
     wall_s: f64,
     offered: u64,
@@ -80,10 +89,14 @@ struct Row {
     speedup: f64,
 }
 
-fn run_once(shards: usize, secs: u64, seed: u64) -> (f64, SimReport) {
-    let mut exp = ExperimentConfig::paper_window(big_cluster(shards), SchemeKind::AntiDope, seed);
+fn run_once(shards: usize, racks: usize, pdus: usize, secs: u64, seed: u64) -> (f64, SimReport) {
+    let mut exp = ExperimentConfig::paper_window(
+        big_cluster(shards, racks, pdus),
+        SchemeKind::AntiDope,
+        seed,
+    );
     exp.duration = SimDuration::from_secs(secs);
-    exp.label = format!("cluster-scaling-{shards}shard");
+    exp.label = format!("cluster-scaling-{racks}rack-{shards}shard");
     let t0 = Instant::now();
     let report = run_experiment(&exp, &sources);
     (t0.elapsed().as_secs_f64(), report)
@@ -125,43 +138,47 @@ fn main() -> ExitCode {
     let secs = if quick { 10 } else { 60 };
     let seed = 2019u64;
     println!(
-        "cluster_scaling: 1000 nodes, 100k users + flood, {secs} s horizon, shards {SHARD_COUNTS:?}\n"
+        "cluster_scaling: 1000 nodes, 100k users + flood, {secs} s horizon, \
+         shards {SHARD_COUNTS:?}, layouts {LAYOUTS:?} (racks, pdus)\n"
     );
 
     let mut rows: Vec<Row> = Vec::new();
     let mut base_rps = 0.0;
-    for &shards in &SHARD_COUNTS {
-        let (wall_s, report) = run_once(shards, secs, seed);
-        let req_per_s = report.traffic.offered as f64 / wall_s.max(1e-9);
-        if shards == 1 {
-            base_rps = req_per_s;
+    for &(racks, pdus) in &LAYOUTS {
+        for &shards in &SHARD_COUNTS {
+            let (wall_s, report) = run_once(shards, racks, pdus, secs, seed);
+            let req_per_s = report.traffic.offered as f64 / wall_s.max(1e-9);
+            if racks == 1 && shards == 1 {
+                base_rps = req_per_s;
+            }
+            let speedup = req_per_s / base_rps.max(1e-9);
+            println!(
+                "  racks={racks:<3} shards={shards:<2} wall {wall_s:>7.2} s  offered {:>8}  events {:>9}  {:>10.0} req/s  ({speedup:.2}x)",
+                report.traffic.offered, report.events, req_per_s
+            );
+            rows.push(Row {
+                racks,
+                shards,
+                wall_s,
+                offered: report.traffic.offered,
+                events: report.events,
+                req_per_s,
+                speedup,
+            });
         }
-        let speedup = req_per_s / base_rps.max(1e-9);
-        println!(
-            "  shards={shards:<2} wall {wall_s:>7.2} s  offered {:>8}  events {:>9}  {:>10.0} req/s  ({speedup:.2}x)",
-            report.traffic.offered, report.events, req_per_s
-        );
-        rows.push(Row {
-            shards,
-            wall_s,
-            offered: report.traffic.offered,
-            events: report.events,
-            req_per_s,
-            speedup,
-        });
     }
 
     let results: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\n      \"shards\": {},\n      \"wall_s\": {:.3},\n      \"offered_requests\": {},\n      \"events\": {},\n      \"simulated_requests_per_sec\": {:.0},\n      \"speedup_vs_1_shard\": {:.2}\n    }}",
-                r.shards, r.wall_s, r.offered, r.events, r.req_per_s, r.speedup
+                "    {{\n      \"racks\": {},\n      \"shards\": {},\n      \"wall_s\": {:.3},\n      \"offered_requests\": {},\n      \"events\": {},\n      \"simulated_requests_per_sec\": {:.0},\n      \"speedup_vs_flat_1_shard\": {:.2}\n    }}",
+                r.racks, r.shards, r.wall_s, r.offered, r.events, r.req_per_s, r.speedup
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"cluster_scaling\",\n  \"description\": \"End-to-end simulated-requests/sec on a 1000-node, 100k-user, flood-attacked cluster at increasing shard counts. shards=1 is the legacy event-driven engine (O(n) power rescan per event); shards>1 is the sharded data-oriented engine (O(1) incremental power sums, slot-batched control, per-shard event loops that a multi-core thread pool advances in parallel).\",\n  \"scenario\": \"1000 x 100 W nodes, Medium-PB, Anti-DOPE scheme, 2000 req/s normal peak over 100k clients + 1000 req/s Colla-Filt flood over 200 bots, {secs} s horizon, seed {seed}\",\n  \"harness\": \"cargo run --release -p dope-bench --bin cluster_scaling{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cluster_scaling\",\n  \"description\": \"End-to-end simulated-requests/sec on a 1000-node, 100k-user, flood-attacked cluster at increasing shard counts, in a flat layout and a 25-rack / 5-PDU hierarchical power topology. racks=1 shards=1 is the legacy event-driven engine (O(n) power rescan per event); every other row is the sharded data-oriented engine (O(1) incremental power sums, slot-batched control, per-shard event loops that a multi-core thread pool advances in parallel). Multi-rack rows add the per-slot hierarchical budget allocator, per-rack breach/breaker accounting, and rack-affine load balancing.\",\n  \"scenario\": \"1000 x 100 W nodes, Medium-PB, Anti-DOPE scheme, 2000 req/s normal peak over 100k clients + 1000 req/s Colla-Filt flood over 200 bots, {secs} s horizon, seed {seed}\",\n  \"harness\": \"cargo run --release -p dope-bench --bin cluster_scaling{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
         if quick { " -- --quick" } else { "" },
         results.join(",\n")
     );
@@ -174,8 +191,8 @@ fn main() -> ExitCode {
     if let Some(min) = assert_speedup {
         let four = rows
             .iter()
-            .find(|r| r.shards == 4)
-            .expect("4-shard row always runs");
+            .find(|r| r.racks == 1 && r.shards == 4)
+            .expect("flat 4-shard row always runs");
         if four.speedup < min {
             eprintln!(
                 "FAIL: 4-shard speedup {:.2}x below required {min:.2}x",

@@ -754,3 +754,103 @@ pub fn breaker(mode: RunMode) -> Vec<Table> {
     }
     vec![t]
 }
+
+/// `abl-hierarchy`: what does the power *tree* buy over one facility
+/// meter? A rack-concentrated flood against a 16-node / 4-rack cluster:
+/// flat telemetry never sees it, the observe-only hierarchy localizes
+/// the breach but lets the rack breaker trip, and the per-rack guard
+/// defuses it in place.
+pub fn hierarchy(mode: RunMode) -> Vec<Table> {
+    use workloads::attacker::ConcentratingFloodSource;
+
+    const RACKS: usize = 4;
+    const PDUS: usize = 2;
+    let secs = mode.cell_secs().max(120);
+    let topology = |defend: bool| {
+        let mut t = antidope::TopologyConfig::with_racks(RACKS, PDUS);
+        t.rack_oversub = 1.0;
+        t.pdu_oversub = 1.0;
+        t.row_oversub = 1.0;
+        t.defend = defend;
+        Some(t)
+    };
+    // (label, topology, attack rate)
+    let arms: [(&str, Option<antidope::TopologyConfig>, f64); 4] = [
+        ("no attack", topology(false), 0.0),
+        ("flat (facility only)", None, 420.0),
+        ("hier observe-only", topology(false), 420.0),
+        ("hier + rack guard", topology(true), 420.0),
+    ];
+    let reports: Vec<(&str, SimReport)> = arms
+        .par_iter()
+        .map(|(arm, topo, rate)| {
+            let mut cluster = ClusterConfig::scaled(BudgetLevel::Low);
+            cluster.topology = *topo;
+            let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::None, mode.seed);
+            exp.duration = SimDuration::from_secs(secs);
+            let rate = *rate;
+            let factory = move |e: &ExperimentConfig| {
+                let horizon = SimTime::ZERO + e.duration;
+                let mut v = vec![normal_users(e.seed, horizon)];
+                if rate > 0.0 {
+                    v.push(Box::new(ConcentratingFloodSource::against_service(
+                        rate,
+                        ServiceKind::CollaFilt,
+                        RACKS,
+                        900,
+                        e.duration, // never re-aims inside the window
+                        50_000,
+                        40,
+                        1 << 40,
+                        SimTime::from_secs(5),
+                        horizon,
+                        e.seed ^ 0x5EED,
+                    )) as Box<dyn TrafficSource>);
+                }
+                v
+            };
+            (*arm, run_experiment(&exp, &factory))
+        })
+        .collect();
+    let mut t = Table::new(
+        "Ablation: hierarchical power topology vs a rack-concentrated flood \
+         (16 nodes / 4 racks / 2 PDUs, Low-PB, oversub 1.0, 420 req/s Colla-Filt on one rack)",
+        &[
+            "variant",
+            "goodput",
+            "facility_peak_W",
+            "facility_viol",
+            "rack_breach",
+            "rack_trip_at_s",
+            "hottest_rack",
+            "guard_slots",
+        ],
+    );
+    for (arm, r) in &reports {
+        let (breach, trip, hottest, guard) = match &r.topology {
+            Some(tr) => (
+                tr.rack_breach_slots.iter().sum::<u64>().to_string(),
+                tr.rack_trip_at_s
+                    .iter()
+                    .flatten()
+                    .map(|at| format!("{at:.0}"))
+                    .next()
+                    .unwrap_or_else(|| "none".into()),
+                tr.hottest_rack.to_string(),
+                tr.guard_slots.to_string(),
+            ),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        t.push_row(vec![
+            arm.to_string(),
+            format!("{:.1}%", r.normal_sla.completion_rate() * 100.0),
+            Table::fmt_f64(r.power.peak_w),
+            r.power.violations.to_string(),
+            breach,
+            trip,
+            hottest,
+            guard,
+        ]);
+    }
+    vec![t]
+}

@@ -30,7 +30,7 @@ pub const ALL_IDS: [&str; 16] = [
 // "fig17", or "fig19" (all dispatch into fig16_17_19).
 
 /// Ablation studies beyond the paper (DESIGN.md §8).
-pub const ABLATION_IDS: [&str; 13] = [
+pub const ABLATION_IDS: [&str; 14] = [
     "abl-framework",
     "abl-threshold",
     "abl-pool",
@@ -44,6 +44,7 @@ pub const ABLATION_IDS: [&str; 13] = [
     "abl-seeds",
     "abl-online-profiler",
     "abl-resilience",
+    "abl-hierarchy",
 ];
 
 /// Dispatch one experiment id. Returns `None` for an unknown id.
@@ -77,6 +78,7 @@ pub fn run(id: &str, mode: RunMode) -> Option<Vec<Table>> {
         "abl-seeds" => ablations::seeds(mode),
         "abl-online-profiler" => ablations::online_profiler(mode),
         "abl-resilience" => ablations::resilience(mode),
+        "abl-hierarchy" => ablations::hierarchy(mode),
         _ => return None,
     })
 }

@@ -60,6 +60,17 @@ pub enum ConfigError {
     /// The retry / circuit-breaker policy was invalid (the wrapped
     /// error names the offending knob and its value).
     Retry(netsim::ConfigError),
+    /// A power-topology level count broke the nesting invariant
+    /// `rows ≤ pdus ≤ racks ≤ servers` (every level needs at least one
+    /// child per parent feed).
+    Topology {
+        /// Level name.
+        what: &'static str,
+        /// Configured count.
+        count: usize,
+        /// Largest count the next level up permits.
+        max: usize,
+    },
     /// A control-plane trace was written by an incompatible schema
     /// version (see [`crate::control::plane::TRACE_SCHEMA_VERSION`]).
     TraceSchema {
@@ -101,6 +112,10 @@ impl std::fmt::Display for ConfigError {
                 "shard count {shards} must be in 1..={servers} (one node per shard minimum)"
             ),
             ConfigError::Retry(e) => write!(f, "retry policy: {e}"),
+            ConfigError::Topology { what, count, max } => write!(
+                f,
+                "topology: {what} = {count} must be in 1..={max} (levels nest: rows ≤ pdus ≤ racks ≤ servers)"
+            ),
             ConfigError::TraceSchema { found, supported } => write!(
                 f,
                 "trace schema version {found} is not readable by this build (supports {supported})"
@@ -292,6 +307,17 @@ pub struct ClusterConfig {
     /// runner routes such configs through it even at `shards: 1`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub retry: Option<RetryConfig>,
+    /// Hierarchical power topology (racks → PDUs → rows → facility)
+    /// with per-level oversubscribed budgets, breakers, and the
+    /// top-down [`crate::topology::HierarchicalBudget`] allocator.
+    /// `None` (the default) keeps the flat single-feed model and is
+    /// byte-identical to configs written before the field existed.
+    /// Multi-rack topologies (`racks > 1`) require the sharded engine's
+    /// layout-independent rack aggregation, so the runner routes such
+    /// configs through it even at `shards: 1`; the legacy engine only
+    /// accepts the degenerate single-rack tree.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub topology: Option<crate::topology::TopologyConfig>,
     /// Staged-control-plane tunables (watchdog, telemetry staleness,
     /// actuator retries). The default reproduces the previously
     /// hard-coded values.
@@ -336,6 +362,7 @@ impl ClusterConfig {
             faults: None,
             profiler: None,
             retry: None,
+            topology: None,
             control: ControlPlaneConfig::default(),
             shards: default_shards(),
         }
@@ -412,7 +439,16 @@ impl ClusterConfig {
         if let Some(r) = &self.retry {
             r.validate()?;
         }
+        if let Some(t) = &self.topology {
+            t.validate(self.servers)?;
+        }
         Ok(())
+    }
+
+    /// This config's power topology, or the degenerate single-rack tree
+    /// when none is configured.
+    pub fn effective_racks(&self) -> usize {
+        self.topology.as_ref().map_or(1, |t| t.racks)
     }
 }
 
@@ -562,6 +598,34 @@ mod tests {
                 what: "actuator_max_retries"
             }
         );
+    }
+
+    #[test]
+    fn validate_topology_nesting() {
+        use crate::topology::TopologyConfig;
+        let mut c = ClusterConfig::scaled(BudgetLevel::Medium);
+        assert!(c.topology.is_none(), "default is the flat model");
+        assert_eq!(c.effective_racks(), 1);
+        c.topology = Some(TopologyConfig::with_racks(4, 2));
+        c.validate().unwrap();
+        assert_eq!(c.effective_racks(), 4);
+        // More racks than servers.
+        c.topology = Some(TopologyConfig::with_racks(17, 1));
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::Topology { what: "racks", count: 17, max: 16 }
+        ));
+        // More PDUs than racks.
+        c.topology = Some(TopologyConfig::with_racks(2, 3));
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::Topology { what: "pdus", count: 3, max: 2 }
+        ));
+        // A configured topology still serializes (the None case is
+        // covered by the skip attribute, same pattern as `faults`).
+        c.topology = Some(TopologyConfig::default());
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("topology"));
     }
 
     #[test]

@@ -252,6 +252,9 @@ pub struct ControlPipeline {
     pub actions: Vec<Action>,
     /// Recycled thermal-trip list for the accountant's slot pass.
     pub tripped: Vec<usize>,
+    /// The hierarchical power topology, when configured: per-level
+    /// budgets/breakers, the top-down allocator, and the rack guard.
+    pub topology: Option<crate::topology::TopologyState>,
 }
 
 impl ControlPipeline {
@@ -309,6 +312,9 @@ impl ControlPipeline {
         let thermals = cfg
             .thermal
             .then(|| (0..cfg.servers).map(|_| ThermalNode::paper_default(start)).collect());
+        let topology = cfg.topology.as_ref().map(|t| {
+            crate::topology::TopologyState::new(cfg.servers, budget.supply_w, t, cfg.control_slot)
+        });
         ControlPipeline {
             sense: sense::SenseStage::default(),
             filter: filter::FilterStage { monitor, hardening },
@@ -325,6 +331,7 @@ impl ControlPipeline {
             account: account::AccountStage::new(start, idle_power_w, hierarchy, thermals),
             actions: Vec::new(),
             tripped: Vec::new(),
+            topology,
         }
     }
 }

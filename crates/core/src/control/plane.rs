@@ -221,6 +221,10 @@ pub struct PlaneSample {
     pub energy_j: f64,
     /// Node-forget events that became visible since the previous slot.
     pub forgets: Vec<Forget>,
+    /// Per-rack sensed power, watts, when a hierarchical topology is
+    /// configured (global rack order); empty otherwise. Traces recorded
+    /// before the topology subsystem parse with this empty.
+    pub rack_power_w: Vec<f64>,
 }
 
 /// The trusted view the Filter stage produced for one slot, in
@@ -547,6 +551,7 @@ impl TraceRecorder {
         actions: &[Action],
         energy_j: f64,
         learn: Option<&LearnStage>,
+        rack_power_w: Vec<f64>,
     ) {
         let obs = nodes
             .iter()
@@ -595,6 +600,7 @@ impl TraceRecorder {
                 },
                 energy_j,
                 forgets: std::mem::take(&mut self.pending_forgets),
+                rack_power_w,
             },
             view: view.into(),
             decisions: DecisionRecord {
@@ -720,7 +726,7 @@ impl ShardGuard {
     /// telemetry staleness window.
     pub fn for_experiment(exp: &ExperimentConfig) -> Option<Self> {
         let cfg = &exp.cluster;
-        let sharded_engine = cfg.shards > 1 || cfg.retry.is_some();
+        let sharded_engine = cfg.shards > 1 || cfg.retry.is_some() || cfg.effective_racks() > 1;
         if !sharded_engine || cfg.faults.is_none() {
             return None;
         }
@@ -1145,6 +1151,34 @@ mod codec {
         })
     }
 
+    fn topology_j(t: &crate::topology::TopologyConfig) -> Json {
+        Json::Obj(vec![
+            ("racks".into(), Json::u64(t.racks as u64)),
+            ("pdus".into(), Json::u64(t.pdus as u64)),
+            ("rows".into(), Json::u64(t.rows as u64)),
+            ("rack_oversub".into(), Json::f64(t.rack_oversub)),
+            ("pdu_oversub".into(), Json::f64(t.pdu_oversub)),
+            ("row_oversub".into(), Json::f64(t.row_oversub)),
+            ("breaker_rating_factor".into(), Json::f64(t.breaker_rating_factor)),
+            ("breaker_trip_delay".into(), dur_j(t.breaker_trip_delay)),
+            ("defend".into(), Json::Bool(t.defend)),
+        ])
+    }
+
+    fn topology_f(v: &Json) -> R<crate::topology::TopologyConfig> {
+        Ok(crate::topology::TopologyConfig {
+            racks: v.get("racks")?.as_usize()?,
+            pdus: v.get("pdus")?.as_usize()?,
+            rows: v.get("rows")?.as_usize()?,
+            rack_oversub: v.get("rack_oversub")?.as_f64()?,
+            pdu_oversub: v.get("pdu_oversub")?.as_f64()?,
+            row_oversub: v.get("row_oversub")?.as_f64()?,
+            breaker_rating_factor: v.get("breaker_rating_factor")?.as_f64()?,
+            breaker_trip_delay: dur_f(v.get("breaker_trip_delay")?)?,
+            defend: v.get("defend")?.as_bool()?,
+        })
+    }
+
     fn cluster_j(c: &ClusterConfig) -> Json {
         Json::Obj(vec![
             ("servers".into(), Json::u64(c.servers as u64)),
@@ -1167,6 +1201,7 @@ mod codec {
             ("retry".into(), Json::opt(&c.retry, retry_j)),
             ("control".into(), control_j(&c.control)),
             ("shards".into(), Json::u64(c.shards as u64)),
+            ("topology".into(), Json::opt(&c.topology, topology_j)),
         ])
     }
 
@@ -1192,6 +1227,8 @@ mod codec {
             retry: v.get_opt("retry")?.map(retry_f).transpose()?,
             control: control_f(v.get("control")?)?,
             shards: v.get("shards")?.as_usize()?,
+            // Absent in pre-topology traces: they parse as None.
+            topology: v.get_opt("topology")?.map(topology_f).transpose()?,
         })
     }
 
@@ -1275,7 +1312,7 @@ mod codec {
     }
 
     fn sample_j(s: &PlaneSample) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("true_power_w".into(), Json::f64(s.true_power_w)),
             (
                 "readings".into(),
@@ -1324,7 +1361,16 @@ mod codec {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Key elided entirely for flat (no-topology) runs so their
+        // traces stay byte-identical to pre-topology recordings.
+        if !s.rack_power_w.is_empty() {
+            fields.push((
+                "rack_power_w".into(),
+                Json::Arr(s.rack_power_w.iter().map(|&w| Json::f64(w)).collect()),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     fn sample_f(v: &Json) -> R<PlaneSample> {
@@ -1378,6 +1424,11 @@ mod codec {
                     })
                 })
                 .collect::<R<_>>()?,
+            rack_power_w: v
+                .get_opt("rack_power_w")?
+                .map(|r| r.as_arr()?.iter().map(Json::as_f64).collect::<R<Vec<f64>>>())
+                .transpose()?
+                .unwrap_or_default(),
         })
     }
 

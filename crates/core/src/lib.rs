@@ -58,6 +58,7 @@ pub mod runner;
 pub mod scheme;
 pub mod shard;
 pub mod testutil;
+pub mod topology;
 
 
 pub use cluster::ClusterSim;
@@ -72,7 +73,9 @@ pub use control::{ClusterView, ControlPipeline, TelemetryFrame};
 pub use health::{ActuatorVerify, ShardWatchdog, TelemetryHealth, Watchdog};
 pub use node::ComputeNode;
 pub use results::{FaultReport, RetryReport, SimReport};
+pub use results::TopologyReport;
 pub use runner::{record_experiment, run_experiment, run_matrix};
 pub use shard::ShardedClusterSim;
+pub use topology::{HierarchicalBudget, PowerTopology, TopologyConfig};
 
 

@@ -35,13 +35,22 @@ where
     }
 }
 
+/// True when `exp` must run on the sharded engine: `shards > 1`, a
+/// retry policy (the resilience dataplane lives in its slot-boundary
+/// loop), or a multi-rack power topology (per-rack aggregation and
+/// rack-local outages live there too; the legacy engine only accepts
+/// the degenerate single-rack tree).
+fn wants_sharded_engine(exp: &ExperimentConfig) -> bool {
+    exp.cluster.shards > 1 || exp.cluster.retry.is_some() || exp.cluster.effective_racks() > 1
+}
+
 /// Run one experiment to completion, dispatching on the config:
 /// `shards: 1` (the default) runs the original event-driven
 /// [`ClusterSim`] byte-for-byte; `shards > 1` runs the sharded parallel
-/// engine. A retry policy also selects the sharded engine (even at one
-/// shard) — the resilience dataplane lives in its slot-boundary loop.
+/// engine. A retry policy or a multi-rack topology also selects the
+/// sharded engine (even at one shard).
 pub fn run_experiment(exp: &ExperimentConfig, factory: &dyn SourceFactory) -> SimReport {
-    if exp.cluster.shards > 1 || exp.cluster.retry.is_some() {
+    if wants_sharded_engine(exp) {
         ShardedClusterSim::run(exp, factory.build(exp))
     } else {
         ClusterSim::run(exp, factory.build(exp))
@@ -55,7 +64,7 @@ pub fn record_experiment(
     exp: &ExperimentConfig,
     factory: &dyn SourceFactory,
 ) -> (SimReport, ControlTrace) {
-    if exp.cluster.shards > 1 || exp.cluster.retry.is_some() {
+    if wants_sharded_engine(exp) {
         ShardedClusterSim::run_recorded(exp, factory.build(exp))
     } else {
         ClusterSim::run_recorded(exp, factory.build(exp))

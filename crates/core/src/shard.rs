@@ -69,10 +69,14 @@
 //!   boundary rather than mid-slot.
 //! * With a [`RetryConfig`] the coordinator owns a resilience
 //!   dataplane: failed dispatches re-enter the NLB after timeout +
-//!   jittered exponential backoff, and per-shard circuit breakers
-//!   steer retries away from dark racks. Breaker pools follow the
-//!   shard partition by design, so retry runs with breakers enabled
-//!   are deterministic per layout but *not* layout-invariant.
+//!   jittered exponential backoff, and per-pool circuit breakers
+//!   steer retries away from dark racks. Without a power topology the
+//!   breaker pools follow the shard partition, so such retry runs are
+//!   deterministic per layout but *not* layout-invariant. With a
+//!   topology configured the pools are keyed by physical rack instead
+//!   (success signals fold per-node completion flags in global node
+//!   order), so hierarchical retry runs are byte-identical across
+//!   shard counts.
 
 use crate::config::ExperimentConfig;
 use crate::control::act::ActCtx;
@@ -208,6 +212,14 @@ pub struct Shard {
     /// Completions inside the current slot — the circuit breakers'
     /// per-pool success signal, reset at every boundary.
     slot_completions: u64,
+    /// Per-node completion flags for the current slot, set only when
+    /// `track_completions` is on (rack-keyed breaker pools). Folded in
+    /// global node order at the boundary so the success signal is
+    /// shard-layout-invariant, then cleared.
+    completed: Vec<bool>,
+    /// Whether completions are tracked per node (topology-configured
+    /// runs with circuit breakers enabled).
+    track_completions: bool,
 }
 
 impl Shard {
@@ -217,6 +229,7 @@ impl Shard {
         nodes: &[ComputeNode],
         master: &RngFactory,
         learn_enabled: bool,
+        track_completions: bool,
     ) -> Self {
         let power_w: Vec<f64> = nodes.iter().map(|n| n.power_w()).collect();
         Shard {
@@ -244,6 +257,8 @@ impl Shard {
             events: 0,
             recovered: 0,
             slot_completions: 0,
+            completed: vec![false; nodes.len()],
+            track_completions,
         }
     }
 
@@ -466,6 +481,9 @@ impl Shard {
                     self.normal_sum[j].record(secs);
                 }
                 self.slot_completions += 1;
+                if self.track_completions {
+                    self.completed[j] = true;
+                }
                 if req.attempt > 0 {
                     self.recovered += 1;
                 }
@@ -628,6 +646,11 @@ pub struct ShardedClusterSim {
     shards: Vec<Shard>,
     /// Global node index → owning shard index.
     owner_shard: Vec<usize>,
+    /// Global node index → circuit-breaker pool. Rack-keyed when a
+    /// power topology is configured (so breaker behaviour is
+    /// shard-layout-invariant and trips isolate the physical rack);
+    /// identical to `owner_shard` otherwise.
+    breaker_pool: Vec<usize>,
     offered: u64,
     scheme_denied_drops: u64,
     normal_hist: LatencyHistogram,
@@ -647,6 +670,9 @@ pub struct ShardedClusterSim {
     /// Crashed nodes waiting to reboot (`(due, global node)`), settled
     /// at slot boundaries in node-index order.
     pending_reboots: Vec<(SimTime, usize)>,
+    /// Recycled global per-node power vector for the topology's rack
+    /// fold (concatenated shard power columns, global node order).
+    node_power_scratch: Vec<f64>,
     /// Control-plane trace recorder, when attached. Recording is
     /// read-only — it draws no randomness and touches no model state —
     /// so a recorded run stays byte-identical to an unrecorded one.
@@ -672,7 +698,7 @@ impl ShardedClusterSim {
         let cfg = exp.cluster.clone();
         cfg.validate().expect("invalid cluster config");
         let start = SimTime::ZERO;
-        let nlb = Nlb::new(cfg.servers, scheme.forwarding_policy(&cfg))
+        let mut nlb = Nlb::new(cfg.servers, scheme.forwarding_policy(&cfg))
             .expect("forwarding pools checked by ClusterConfig::validate");
         let nodes: Vec<ComputeNode> = (0..cfg.servers)
             .map(|_| ComputeNode::new(start, cfg.cores_per_server, cfg.max_inflight, cfg.dvfs_latency))
@@ -730,9 +756,32 @@ impl ShardedClusterSim {
                 cfg.control.watchdog_recovery_slots,
             )
         });
+        let idle_total: f64 = nodes.iter().map(|n| n.power_w()).sum();
+        let pipeline =
+            ControlPipeline::new(&cfg, scheme, budget, start, fault.is_some(), idle_total);
+
+        // Circuit-breaker pools are rack-keyed when a power topology is
+        // configured — a trip then isolates the physical rack and the
+        // breaker dataplane becomes shard-layout-invariant — and follow
+        // the shard partition otherwise (the pre-topology behaviour,
+        // byte-identical for flat configs).
+        let (pool_count, breaker_pool) = match pipeline.topology.as_ref() {
+            Some(t) => (t.topo.racks(), t.topo.owner_rack().to_vec()),
+            None => (k, owner_shard.clone()),
+        };
+        // The NLB learns the same placement: routing prefers a URL's
+        // home rack, so a rack trip only displaces the flows homed
+        // there instead of reshuffling the whole cluster.
+        if let Some(t) = pipeline.topology.as_ref() {
+            let placement =
+                netsim::RackPlacement::new(t.topo.racks(), t.topo.owner_rack().to_vec())
+                    .expect("topology checked by ClusterConfig::validate");
+            nlb.set_placement(placement)
+                .expect("placement covers every backend by construction");
+        }
         let resilience = cfg.retry.as_ref().map(|policy| Resilience {
             breakers: PoolBreakers::new(
-                k,
+                pool_count,
                 policy.breaker_failure_threshold,
                 policy.breaker_cooldown,
             ),
@@ -743,16 +792,15 @@ impl ShardedClusterSim {
             rerouted: 0,
             policy: policy.clone(),
         });
+        let track_completions = pipeline.topology.is_some()
+            && cfg.retry.as_ref().is_some_and(RetryConfig::breaker_enabled);
 
-        let idle_total: f64 = nodes.iter().map(|n| n.power_w()).sum();
-        let pipeline =
-            ControlPipeline::new(&cfg, scheme, budget, start, fault.is_some(), idle_total);
         let learn_enabled = pipeline.learn.is_some();
         let shards: Vec<Shard> = ranges
             .iter()
             .enumerate()
             .map(|(i, &(at, len))| {
-                Shard::new(i, at, &nodes[at..at + len], &master, learn_enabled)
+                Shard::new(i, at, &nodes[at..at + len], &master, learn_enabled, track_completions)
             })
             .collect();
 
@@ -768,6 +816,7 @@ impl ShardedClusterSim {
             sources: MergedSources::new(sources),
             shards,
             owner_shard,
+            breaker_pool,
             offered: 0,
             scheme_denied_drops: 0,
             normal_hist: LatencyHistogram::for_latency_secs(),
@@ -779,6 +828,7 @@ impl ShardedClusterSim {
             fault,
             shard_watchdog,
             pending_reboots: Vec::new(),
+            node_power_scratch: Vec::new(),
             recorder: None,
             resilience,
             config: cfg,
@@ -958,7 +1008,7 @@ impl ShardedClusterSim {
     /// timeout + backoff) instead of a silent drop.
     fn dispatch(&mut self, now: SimTime, src_idx: usize, req: Request) {
         let mut target = self.nlb.route(&req);
-        let pool = self.owner_shard[target];
+        let pool = self.breaker_pool[target];
         let blocked = match self.resilience.as_mut() {
             Some(r) if r.policy.breaker_enabled() => !r.breakers.allows(pool, now),
             _ => false,
@@ -993,7 +1043,7 @@ impl ShardedClusterSim {
     fn pick_alternate(&self, now: SimTime) -> Option<usize> {
         let r = self.resilience.as_ref()?;
         (0..self.nodes.len())
-            .find(|&g| !self.node_dead[g] && !r.breakers.blocked(self.owner_shard[g], now))
+            .find(|&g| !self.node_dead[g] && !r.breakers.blocked(self.breaker_pool[g], now))
     }
 
     /// A dispatch attempt failed (dead node or crash-drained in-flight
@@ -1001,7 +1051,7 @@ impl ShardedClusterSim {
     /// a retry after timeout + jittered exponential backoff or — with
     /// the attempt budget exhausted — record the final drop.
     fn attempt_failed(&mut self, now: SimTime, src_idx: usize, req: Request, target: usize) {
-        let pool = self.owner_shard[target];
+        let pool = self.breaker_pool[target];
         let exhausted = {
             let r = self
                 .resilience
@@ -1256,6 +1306,78 @@ impl ShardedClusterSim {
         }
     }
 
+    /// The hierarchical topology's slot pass: fold per-node power into
+    /// per-rack feeds (global node order, so the aggregates are
+    /// shard-layout-independent), cascade the budget allocations, and
+    /// evaluate every level's breaker. A rack whose breaker opens loses
+    /// power: every node on it dies, latched, with no reboot — a
+    /// rack-local outage instead of the facility-wide one.
+    fn topology_boundary(&mut self, now: SimTime) {
+        let fresh = {
+            let mut node_power = std::mem::take(&mut self.node_power_scratch);
+            node_power.clear();
+            for sh in &self.shards {
+                node_power.extend_from_slice(sh.power_col());
+            }
+            let topo = self
+                .pipeline
+                .topology
+                .as_mut()
+                .expect("topology_boundary requires a configured topology");
+            topo.observe_slot(now, &node_power);
+            self.node_power_scratch = node_power;
+            topo.verdict.newly_tripped_racks.clone()
+        };
+        for r in fresh {
+            self.trip_rack(now, r);
+        }
+    }
+
+    /// Rack `rack`'s breaker opened: kill every node it feeds. With a
+    /// retry policy the drained in-flights become failed attempts
+    /// (timeouts and per-pool breakers observe the dark rack
+    /// end-to-end); without one they are dropped and the oracle
+    /// detector routes around the corpses — the same split as
+    /// [`Self::process_crashes`].
+    fn trip_rack(&mut self, now: SimTime, rack: usize) {
+        let (start, len) = self
+            .pipeline
+            .topology
+            .as_ref()
+            .expect("rack trips come from the topology pass")
+            .topo
+            .rack_range(rack);
+        let mut lost_reqs: Vec<(usize, Request, usize)> = Vec::new();
+        for g in start..start + len {
+            if self.node_dead[g] {
+                continue;
+            }
+            self.node_dead[g] = true;
+            let s = self.owner_shard[g];
+            let local = g - self.shards[s].start();
+            if self.resilience.is_some() {
+                self.shards[s].kill_node_collect(local, &mut self.nodes[g], now, g, &mut lost_reqs);
+            } else {
+                self.shards[s].kill_node(local, &mut self.nodes[g], now);
+            }
+            if let Some(learn) = &mut self.pipeline.learn {
+                learn.forget_node(g);
+            }
+            self.pipeline.filter.forget_node(g);
+            self.pipeline.act.clear_node(g);
+            if let Some(rec) = &mut self.recorder {
+                rec.note_forget(g, ForgetKind::Full);
+            }
+            if self.resilience.is_none() {
+                self.nlb.set_health(g, false);
+                self.nlb.report_load(g, 0);
+            }
+        }
+        for (src, req, node) in lost_reqs {
+            self.attempt_failed(now, src, req, node);
+        }
+    }
+
     /// The breaker opened: every in-flight request is lost and nothing
     /// is served until the end of the window.
     fn begin_outage(&mut self, now: SimTime) {
@@ -1300,12 +1422,28 @@ impl ShardedClusterSim {
     fn boundary(&mut self, now: SimTime) {
         self.events += 1;
         self.drain_shard_outboxes(now);
-        // Per-pool breaker success signal: any completion from a shard
-        // this slot proves its rack is serving again.
+        // Per-pool breaker success signal: any completion from a pool
+        // this slot proves it is serving again. With a power topology
+        // the pools are racks, so per-node completion flags are folded
+        // in global node order (`on_success` is idempotent within a
+        // slot) — the signal is shard-layout-invariant. Without one the
+        // pools follow the shard partition, as before.
         {
-            let Self { shards, resilience, .. } = self;
+            let Self { shards, resilience, breaker_pool, pipeline, .. } = self;
+            let rack_pools = pipeline.topology.is_some();
             for (s, sh) in shards.iter_mut().enumerate() {
-                if sh.slot_completions > 0 {
+                if rack_pools {
+                    let at = sh.start;
+                    for (j, done) in sh.completed.iter_mut().enumerate() {
+                        if std::mem::take(done) {
+                            if let Some(r) = resilience.as_mut() {
+                                if r.policy.breaker_enabled() {
+                                    r.breakers.on_success(breaker_pool[at + j]);
+                                }
+                            }
+                        }
+                    }
+                } else if sh.slot_completions > 0 {
                     if let Some(r) = resilience.as_mut() {
                         if r.policy.breaker_enabled() {
                             r.breakers.on_success(s);
@@ -1330,6 +1468,12 @@ impl ShardedClusterSim {
         }
         if self.pipeline.account.thermals.is_some() {
             self.thermal_boundary(now);
+            let total = self.aggregate_power_w();
+            let Self { pipeline, flows, .. } = self;
+            pipeline.account.sync_power_total(now, total, flows);
+        }
+        if self.pipeline.topology.is_some() {
+            self.topology_boundary(now);
             let total = self.aggregate_power_w();
             let Self { pipeline, flows, .. } = self;
             pipeline.account.sync_power_total(now, total, flows);
@@ -1431,6 +1575,12 @@ impl ShardedClusterSim {
                     }
                 }
             }
+            // Rack guard: racks over their hierarchical allocation get
+            // the scheme's plan overridden with a safe pin — localized
+            // defense where the global watchdog would cap everything.
+            if let Some(topo) = pipeline.topology.as_mut() {
+                topo.apply_rack_guard(&mut actions, node_dead, |g| nodes[g].target_pstate());
+            }
             if let Some(rec) = recorder.as_mut() {
                 rec.capture_slot(
                     now,
@@ -1445,6 +1595,7 @@ impl ShardedClusterSim {
                     &actions,
                     pipeline.account.load_joules(now),
                     pipeline.learn.as_ref(),
+                    pipeline.topology.as_ref().map(|t| t.rack_power_w.clone()).unwrap_or_default(),
                 );
             }
             pipeline.act.enact(
@@ -1522,6 +1673,26 @@ impl ShardedClusterSim {
                 attack_sum.merge(s);
             }
         }
+        // With a topology, the cluster total is *defined* as the fold of
+        // the per-rack sub-folds (each contiguous in global node order),
+        // so per-rack energies sum to the reported total exactly — the
+        // conservation identity the topology tests pin down. Rack
+        // membership is shard-layout-independent, so this fold is too.
+        let (topology, load_j) = match self.pipeline.topology.take() {
+            Some(t) => {
+                let mut rack_energy = vec![0.0; t.topo.racks()];
+                let mut g = 0usize;
+                for sh in &self.shards {
+                    for &j in &sh.joules {
+                        rack_energy[t.topo.rack_of(g)] += j;
+                        g += 1;
+                    }
+                }
+                let total: f64 = rack_energy.iter().sum();
+                (Some(t.into_report(rack_energy)), total)
+            }
+            None => (None, load_j),
+        };
         self.normal_hist.set_summary(normal_sum);
         self.attack_hist.set_summary(attack_sum);
         // Censor in-flight requests: count those past their client
@@ -1679,6 +1850,7 @@ impl ShardedClusterSim {
                 breaker_trips: r.breakers.trips(),
                 rerouted: r.rerouted,
             }),
+            topology,
             events: self.events + shard_events,
         }
     }

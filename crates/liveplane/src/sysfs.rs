@@ -312,6 +312,9 @@ impl TelemetryTransport for SysfsTelemetry {
             },
             energy_j: parse_file(&r.join("rapl/package/energy_j"))?,
             forgets,
+            // The sysfs transport exposes no per-rack feeds; the live
+            // plane runs the flat (single-feed) control pipeline.
+            rack_power_w: Vec::new(),
         })
     }
 }

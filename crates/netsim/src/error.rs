@@ -39,6 +39,15 @@ pub enum ConfigError {
         /// A backend present in both pools.
         index: usize,
     },
+    /// A rack placement mapped a backend to a rack outside `0..racks`.
+    RackOutOfRange {
+        /// Offending backend index.
+        backend: usize,
+        /// The rack it was assigned.
+        rack: usize,
+        /// Number of racks in the placement.
+        racks: usize,
+    },
     /// A component constructor parameter out of range.
     Parameter {
         /// Component name, e.g. `"TokenBucket"`.
@@ -71,6 +80,16 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OverlappingPools { index } => {
                 write!(f, "pools must be disjoint; backend {index} is in both")
+            }
+            ConfigError::RackOutOfRange {
+                backend,
+                rack,
+                racks,
+            } => {
+                write!(
+                    f,
+                    "backend {backend} placed in rack {rack}, outside 0..{racks}"
+                )
             }
             ConfigError::Parameter {
                 component,

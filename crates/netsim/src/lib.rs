@@ -38,7 +38,7 @@ pub mod token_bucket;
 
 pub use error::ConfigError;
 pub use firewall::{Firewall, FirewallConfig, FirewallVerdict};
-pub use nlb::{ForwardingPolicy, Nlb};
+pub use nlb::{ForwardingPolicy, Nlb, RackPlacement};
 pub use queueing::{PsServer, PushOutcome};
 pub use request::{Request, RequestId, SourceId, UrlId};
 pub use resilience::{CircuitBreaker, CircuitState, PoolBreakers, RetryConfig};

@@ -51,6 +51,52 @@ pub enum ForwardingPolicy {
     },
 }
 
+/// Physical placement of backends onto racks, for topology-aware
+/// routing. Each URL has a deterministic *home rack* (`url mod racks`);
+/// routing prefers healthy backends in a request's home rack so a rack
+/// outage degrades only the flows homed there, and falls back to the
+/// placement-blind policy when the home rack has no healthy candidate.
+#[derive(Debug, Clone)]
+pub struct RackPlacement {
+    racks: usize,
+    rack_of: Vec<usize>,
+}
+
+impl RackPlacement {
+    /// Placement of `rack_of.len()` backends onto `racks` racks
+    /// (`rack_of[backend]` = owning rack).
+    pub fn new(racks: usize, rack_of: Vec<usize>) -> Result<Self, ConfigError> {
+        if racks == 0 || rack_of.is_empty() {
+            return Err(ConfigError::NoBackends);
+        }
+        if let Some((backend, &rack)) = rack_of.iter().enumerate().find(|&(_, &r)| r >= racks) {
+            return Err(ConfigError::RackOutOfRange {
+                backend,
+                rack,
+                racks,
+            });
+        }
+        Ok(RackPlacement { racks, rack_of })
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// The rack owning `backend`.
+    pub fn rack_of(&self, backend: usize) -> usize {
+        self.rack_of[backend]
+    }
+
+    /// The home rack of a URL: `url mod racks`. Deterministic, so the
+    /// same service always concentrates on the same rack — which is
+    /// exactly the affinity a concentrating flood exploits.
+    pub fn home_rack(&self, url: UrlId) -> usize {
+        url.0 as usize % self.racks
+    }
+}
+
 /// The load balancer: a forwarding policy over `n` backends.
 #[derive(Debug, Clone)]
 pub struct Nlb {
@@ -59,10 +105,15 @@ pub struct Nlb {
     rr_cursor: usize,
     suspect_cursor: usize,
     innocent_cursor: usize,
+    /// Dedicated cursor for rack-affine picks, so enabling a placement
+    /// never perturbs the placement-blind cursors.
+    rack_cursor: usize,
     /// Last reported per-backend load (in-flight counts).
     loads: Vec<usize>,
     /// Health-check verdict per backend; routing skips unhealthy ones.
     healthy: Vec<bool>,
+    /// Backend → rack placement, when the cluster is topology-aware.
+    placement: Option<RackPlacement>,
     forwarded: u64,
     to_suspect_pool: u64,
 }
@@ -107,8 +158,10 @@ impl Nlb {
             rr_cursor: 0,
             suspect_cursor: 0,
             innocent_cursor: 0,
+            rack_cursor: 0,
             loads: vec![0; backends],
             healthy: vec![true; backends],
+            placement: None,
             forwarded: 0,
             to_suspect_pool: 0,
         })
@@ -117,6 +170,24 @@ impl Nlb {
     /// Number of backends.
     pub fn backends(&self) -> usize {
         self.backends
+    }
+
+    /// Attach a backend → rack placement; routing becomes rack-affine
+    /// (see [`RackPlacement`]). The placement must cover every backend.
+    pub fn set_placement(&mut self, placement: RackPlacement) -> Result<(), ConfigError> {
+        if placement.rack_of.len() != self.backends {
+            return Err(ConfigError::PoolIndexOutOfRange {
+                index: placement.rack_of.len(),
+                backends: self.backends,
+            });
+        }
+        self.placement = Some(placement);
+        Ok(())
+    }
+
+    /// The attached rack placement, if any.
+    pub fn placement(&self) -> Option<&RackPlacement> {
+        self.placement.as_ref()
     }
 
     /// Feed back a backend's current in-flight count (LeastLoaded input).
@@ -175,6 +246,12 @@ impl Nlb {
 
     /// Choose the backend for `req`.
     ///
+    /// With a [`RackPlacement`] attached, every policy first tries a
+    /// healthy backend in the request's home rack (within whatever pool
+    /// the policy selected) and only falls back to the placement-blind
+    /// pick when the home rack has none — so circuit breakers and rack
+    /// outages shift only the flows homed on the dark rack.
+    ///
     /// Unhealthy backends are routed around: round-robin cursors skip
     /// them, least-loaded ignores them in the min-scan, and UrlSplit
     /// skips them within each pool. If *every* candidate is unhealthy the
@@ -185,6 +262,18 @@ impl Nlb {
         self.forwarded += 1;
         match &self.policy {
             ForwardingPolicy::RoundRobin => {
+                if let Some(p) = &self.placement {
+                    let home = p.home_rack(req.url);
+                    if let Some(b) = pick_in_rack_range(
+                        self.backends,
+                        &mut self.rack_cursor,
+                        &self.healthy,
+                        p,
+                        home,
+                    ) {
+                        return b;
+                    }
+                }
                 let first = self.rr_cursor % self.backends;
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
                 let mut b = first;
@@ -201,6 +290,24 @@ impl Nlb {
                 }
             }
             ForwardingPolicy::LeastLoaded => {
+                if let Some(p) = &self.placement {
+                    // Min-scan restricted to the home rack first.
+                    let home = p.home_rack(req.url);
+                    let mut best: Option<usize> = None;
+                    for i in 0..self.backends {
+                        if !self.healthy[i] || p.rack_of[i] != home {
+                            continue;
+                        }
+                        match best {
+                            Some(b) if self.loads[i] >= self.loads[b] => {}
+                            _ => best = Some(i),
+                        }
+                    }
+                    if let Some(b) = best {
+                        self.loads[b] += 1;
+                        return b;
+                    }
+                }
                 // Smallest load among healthy backends; ties break on the
                 // lowest index for determinism.
                 let mut best: Option<usize> = None;
@@ -229,6 +336,14 @@ impl Nlb {
                 } else {
                     (innocent_pool, &mut self.innocent_cursor)
                 };
+                if let Some(p) = &self.placement {
+                    let home = p.home_rack(req.url);
+                    if let Some(b) =
+                        pick_in_rack_pool(pool, &mut self.rack_cursor, &self.healthy, p, home)
+                    {
+                        return b;
+                    }
+                }
                 pick_healthy(pool, cursor, &self.healthy)
             }
             ForwardingPolicy::AdaptiveSplit {
@@ -244,10 +359,58 @@ impl Nlb {
                 } else {
                     (innocent_pool, &mut self.innocent_cursor)
                 };
+                if let Some(p) = &self.placement {
+                    let home = p.home_rack(req.url);
+                    if let Some(b) =
+                        pick_in_rack_pool(pool, &mut self.rack_cursor, &self.healthy, p, home)
+                    {
+                        return b;
+                    }
+                }
                 pick_healthy(pool, cursor, &self.healthy)
             }
         }
     }
+}
+
+/// Round-robin over `0..backends` restricted to the backends of rack
+/// `home`, skipping unhealthy members. `None` when the rack has no
+/// healthy backend — the caller falls back to placement-blind routing.
+fn pick_in_rack_range(
+    backends: usize,
+    cursor: &mut usize,
+    healthy: &[bool],
+    placement: &RackPlacement,
+    home: usize,
+) -> Option<usize> {
+    for _ in 0..backends {
+        let b = *cursor % backends;
+        *cursor = cursor.wrapping_add(1);
+        if placement.rack_of[b] == home && healthy[b] {
+            return Some(b);
+        }
+    }
+    None
+}
+
+/// Round-robin over the members of `pool` that live in rack `home`,
+/// skipping unhealthy ones. `None` when the pool has no healthy member
+/// in the rack.
+fn pick_in_rack_pool(
+    pool: &[usize],
+    cursor: &mut usize,
+    healthy: &[bool],
+    placement: &RackPlacement,
+    home: usize,
+) -> Option<usize> {
+    for _ in 0..pool.len() {
+        let b = pool[*cursor % pool.len()];
+        *cursor = cursor.wrapping_add(1);
+        if placement.rack_of[b] == home && healthy[b] {
+            return Some(b);
+        }
+    }
+    None
 }
 
 /// Round-robin within `pool`, skipping unhealthy members; if every member
@@ -523,6 +686,102 @@ mod tests {
         nlb.sync_loads(0, &[7, 0]);
         nlb.sync_loads(2, &[3, 3]);
         assert_eq!(nlb.route(&req(&mut b, 0)), 1, "backend 1 is now emptiest");
+    }
+
+    fn placed(policy: ForwardingPolicy) -> Nlb {
+        // 4 backends, 2 racks: {0, 1} in rack 0, {2, 3} in rack 1.
+        let mut nlb = Nlb::new(4, policy).unwrap();
+        nlb.set_placement(RackPlacement::new(2, vec![0, 0, 1, 1]).unwrap())
+            .unwrap();
+        nlb
+    }
+
+    #[test]
+    fn rack_affinity_routes_to_home_rack() {
+        let mut nlb = placed(ForwardingPolicy::RoundRobin);
+        let mut b = RequestBuilder::new();
+        // URL 0 homes on rack 0, URL 1 on rack 1.
+        for _ in 0..4 {
+            assert!(nlb.route(&req(&mut b, 0)) < 2);
+        }
+        for _ in 0..4 {
+            assert!(nlb.route(&req(&mut b, 1)) >= 2);
+        }
+    }
+
+    #[test]
+    fn rack_affinity_falls_back_when_home_rack_dark() {
+        let mut nlb = placed(ForwardingPolicy::RoundRobin);
+        let mut b = RequestBuilder::new();
+        nlb.set_health(2, false);
+        nlb.set_health(3, false);
+        // URL 1 homes on rack 1, now fully dark: the pick falls back to
+        // the placement-blind rotation over healthy backends.
+        for _ in 0..4 {
+            assert!(nlb.route(&req(&mut b, 1)) < 2);
+        }
+    }
+
+    #[test]
+    fn rack_affine_least_loaded_stays_in_rack() {
+        let mut nlb = placed(ForwardingPolicy::LeastLoaded);
+        let mut b = RequestBuilder::new();
+        nlb.report_load(0, 9);
+        nlb.report_load(1, 9);
+        nlb.report_load(2, 0);
+        // Rack 1 is emptier, but URL 0 homes on rack 0.
+        assert!(nlb.route(&req(&mut b, 0)) < 2);
+    }
+
+    #[test]
+    fn rack_affinity_respects_split_pools() {
+        let mut list = SuspectList::new(0.7, FlowClass::Innocent).unwrap();
+        list.set_profile(UrlId(0), 0.95).unwrap(); // suspect, homes on rack 0
+        let mut nlb = Nlb::new(
+            4,
+            ForwardingPolicy::UrlSplit {
+                list,
+                suspect_pool: vec![3],
+                innocent_pool: vec![0, 1, 2],
+            },
+        )
+        .unwrap();
+        nlb.set_placement(RackPlacement::new(2, vec![0, 0, 1, 1]).unwrap())
+            .unwrap();
+        let mut b = RequestBuilder::new();
+        // The suspect pool has no rack-0 member: isolation wins over
+        // affinity and the request still lands in the suspect pool.
+        assert_eq!(nlb.route(&req(&mut b, 0)), 3);
+        // Innocent URL 2 homes on rack 0; pool members 0..=2 include
+        // rack-0 backends, so affinity keeps it there.
+        assert!(nlb.route(&req(&mut b, 2)) < 2);
+    }
+
+    #[test]
+    fn placement_validates_shape() {
+        assert_eq!(
+            RackPlacement::new(2, vec![0, 2]).unwrap_err(),
+            ConfigError::RackOutOfRange {
+                backend: 1,
+                rack: 2,
+                racks: 2
+            }
+        );
+        assert_eq!(
+            RackPlacement::new(0, vec![]).unwrap_err(),
+            ConfigError::NoBackends
+        );
+        let mut nlb = Nlb::new(3, ForwardingPolicy::RoundRobin).unwrap();
+        let err = nlb
+            .set_placement(RackPlacement::new(2, vec![0, 1]).unwrap())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::PoolIndexOutOfRange {
+                index: 2,
+                backends: 3
+            }
+        );
     }
 
     #[test]

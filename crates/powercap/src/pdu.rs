@@ -33,6 +33,8 @@ pub enum BreakerState {
 /// One feed (rack PDU or cluster switchboard) with a breaker.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Feed {
+    /// Only surfaced through Debug/serialized dumps of the hierarchy.
+    #[allow(dead_code)]
     name: String,
     rating_w: f64,
     trip_delay: SimDuration,

@@ -253,6 +253,10 @@ pub mod streams {
     /// other stream so enabling retries never perturbs arrivals, faults,
     /// or the attacker).
     pub const RETRY: &str = "retry";
+    /// Rack-target schedule of the concentrating flood attacker (kept
+    /// separate from its arrival/jitter stream so re-aiming the flood
+    /// never perturbs the arrival process).
+    pub const ATTACK_FOCUS: &str = "attack-focus";
 }
 
 #[cfg(test)]

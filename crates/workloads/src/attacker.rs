@@ -400,6 +400,149 @@ impl TrafficSource for RotatingFloodSource {
     }
 }
 
+/// An open-loop attacker that concentrates its flood on one rack.
+///
+/// A topology-aware NLB gives every URL a deterministic home rack
+/// (`url mod racks` — see `netsim`'s `RackPlacement`). An attacker who
+/// has mapped that affinity (timing probes, or simply knowing the hash)
+/// can pick URLs from a single congruence class and land its entire
+/// power budget on one rack: the *rack* breaker overloads while the
+/// *facility* meter still shows headroom — the hierarchical blind spot
+/// this repo's Anti-DOPE extension closes. Every `period` the attacker
+/// re-aims at a different rack, hopping ahead of any per-rack manual
+/// mitigation.
+///
+/// The retarget schedule draws from the dedicated
+/// [`streams::ATTACK_FOCUS`] stream, independent of the arrival /
+/// work-jitter stream, so re-aiming more or less often never perturbs
+/// the arrival process of an otherwise-identical run.
+pub struct ConcentratingFloodSource {
+    flood: FloodSource,
+    racks: usize,
+    url_base: u16,
+    target: usize,
+    period: SimDuration,
+    next_retarget: SimTime,
+    focus_rng: SimRng,
+    retargets: u64,
+}
+
+impl ConcentratingFloodSource {
+    /// Open-loop flood at `rate` req/s with the work character of
+    /// `victim`, aimed at one of `racks` racks at a time (re-aimed every
+    /// `period`). URLs are drawn from `[url_base, url_base + racks)` so
+    /// each rack has exactly one URL in its congruence class.
+    #[allow(clippy::too_many_arguments)]
+    pub fn against_service(
+        rate: f64,
+        victim: ServiceKind,
+        racks: usize,
+        url_base: u16,
+        period: SimDuration,
+        source_base: u32,
+        bots: u32,
+        id_base: u64,
+        start: SimTime,
+        stop: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(racks >= 1, "need at least one rack to aim at");
+        assert!(
+            url_base.checked_add(racks as u16).is_some(),
+            "URL range overflows u16"
+        );
+        assert!(!period.is_zero(), "retarget period must be positive");
+        let mut flood = FloodSource::against_service(
+            AttackTool::HttpLoad { rate },
+            victim,
+            source_base,
+            bots,
+            id_base,
+            start,
+            stop,
+            seed,
+        );
+        flood.label = format!("concentrating-{}", flood.label);
+        let mut focus_rng = RngFactory::new(seed).stream(streams::ATTACK_FOCUS);
+        let target = focus_rng.below(racks as u64) as usize;
+        let mut src = ConcentratingFloodSource {
+            flood,
+            racks,
+            url_base,
+            target,
+            period,
+            next_retarget: start + period,
+            focus_rng,
+            retargets: 0,
+        };
+        src.flood.demand.url = src.url_for(src.target);
+        src
+    }
+
+    /// The URL homed on `rack`: the one member of `rack`'s congruence
+    /// class within the attacker's URL range.
+    pub fn url_for(&self, rack: usize) -> UrlId {
+        let base = self.url_base as usize;
+        let offset = (self.racks - base % self.racks + rack) % self.racks;
+        UrlId((base + offset) as u16)
+    }
+
+    /// The rack currently under fire.
+    pub fn target_rack(&self) -> usize {
+        self.target
+    }
+
+    /// Completed retargets so far.
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+
+    /// Ground-truth `(url, intensity)` profile of every URL this
+    /// attacker may ever flood (one per rack) — the oracle upper bound
+    /// for defenses, as with [`RotatingFloodSource::oracle_profiles`].
+    pub fn oracle_profiles(&self) -> Vec<(UrlId, f64)> {
+        (0..self.racks)
+            .map(|r| (self.url_for(r), self.flood.demand.intensity))
+            .collect()
+    }
+
+    fn retarget(&mut self) {
+        let mut pick = self.focus_rng.below(self.racks as u64) as usize;
+        // With more than one rack available, never re-aim in place.
+        while self.racks > 1 && pick == self.target {
+            pick = self.focus_rng.below(self.racks as u64) as usize;
+        }
+        self.target = pick;
+        self.flood.demand.url = self.url_for(pick);
+        self.retargets += 1;
+    }
+}
+
+impl TrafficSource for ConcentratingFloodSource {
+    fn next_request(&mut self, now: SimTime) -> Option<Request> {
+        // Re-aim on the generated arrival clock (simulated time), not on
+        // how often the driver polls this source.
+        let t = now.max(self.flood.clock);
+        while t >= self.next_retarget {
+            self.retarget();
+            self.next_retarget += self.period;
+        }
+        self.flood.next_request(now)
+    }
+
+    fn label(&self) -> &str {
+        self.flood.label()
+    }
+
+    fn feedback(&mut self, now: SimTime, event: SourceEvent) {
+        self.flood.feedback(now, event);
+    }
+
+    fn is_attacker(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +778,85 @@ mod tests {
             assert_eq!(r.url, url);
             last = r.arrival;
         }
+    }
+
+    fn concentrating(period_s: u64, racks: usize, seed: u64) -> ConcentratingFloodSource {
+        ConcentratingFloodSource::against_service(
+            200.0,
+            ServiceKind::CollaFilt,
+            racks,
+            900,
+            SimDuration::from_secs(period_s),
+            5000,
+            20,
+            1 << 42,
+            s(0),
+            s(60),
+            seed,
+        )
+    }
+
+    #[test]
+    fn concentration_stays_in_target_congruence_class() {
+        let mut f = concentrating(10, 4, 7);
+        let mut last = SimTime::ZERO;
+        let mut by_target = std::collections::HashMap::new();
+        while let Some(r) = f.next_request(last) {
+            // Retargeting runs before the request is built, so every
+            // request's URL homes on the rack currently under fire.
+            assert_eq!(r.url.0 as usize % 4, f.target_rack());
+            *by_target.entry(f.target_rack()).or_insert(0u32) += 1;
+            last = r.arrival;
+        }
+        // 60 s / 10 s period = 5 retargets; in-place repeats forbidden.
+        assert_eq!(f.retargets(), 5);
+        assert!(by_target.len() >= 2, "never re-aimed");
+    }
+
+    #[test]
+    fn concentration_is_deterministic_per_seed() {
+        let mut a = concentrating(5, 8, 13);
+        let mut b = concentrating(5, 8, 13);
+        let mut last = SimTime::ZERO;
+        loop {
+            let (ra, rb) = (a.next_request(last), b.next_request(last));
+            assert_eq!(ra, rb);
+            match ra {
+                Some(r) => last = r.arrival,
+                None => break,
+            }
+        }
+        assert_eq!(a.retargets(), b.retargets());
+        assert_eq!(a.target_rack(), b.target_rack());
+    }
+
+    #[test]
+    fn concentration_oracle_covers_every_rack() {
+        let f = concentrating(10, 5, 1);
+        let profiles = f.oracle_profiles();
+        assert_eq!(profiles.len(), 5);
+        let expect = ServiceKind::CollaFilt.profile().intensity;
+        let classes: std::collections::HashSet<usize> =
+            profiles.iter().map(|(u, _)| u.0 as usize % 5).collect();
+        assert_eq!(classes.len(), 5, "one URL per rack congruence class");
+        for (url, intensity) in &profiles {
+            assert!((900..905).contains(&url.0), "url {} outside range", url.0);
+            assert!((intensity - expect).abs() < 1e-12);
+        }
+        assert!(f.is_attacker());
+        assert!(f.label().starts_with("concentrating-http-load"));
+    }
+
+    #[test]
+    fn single_rack_concentration_is_static() {
+        let mut f = concentrating(5, 1, 2);
+        let url = f.url_for(0);
+        let mut last = SimTime::ZERO;
+        while let Some(r) = f.next_request(last) {
+            assert_eq!(r.url, url);
+            last = r.arrival;
+        }
+        assert_eq!(f.target_rack(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod service;
 pub mod source;
 
 pub use alibaba::{AlibabaTraceConfig, UtilizationTrace};
-pub use attacker::{AttackTool, FloodSource, RotatingFloodSource};
+pub use attacker::{AttackTool, ConcentratingFloodSource, FloodSource, RotatingFloodSource};
 pub use dope::{DopeAttacker, DopeConfig, DopePhase};
 pub use fanout::MergedSources;
 pub use floods::{FloodKind, FloodLayer};

@@ -7,13 +7,17 @@
 //! much provisioning Anti-DOPE buys back.
 //!
 //! ```text
-//! cargo run --release --example capacity_planning [-- --shards N] [-- --retry]
+//! cargo run --release --example capacity_planning \
+//!     [-- --shards N] [-- --retry] [-- --topology racks=R,pdus=P]
 //! ```
 //!
 //! `--shards N` (default 1) runs every cell on the sharded parallel
 //! engine with `N` dataplane shards. `--retry` enables client-side
 //! request resilience in every cell and appends its aggregate retry
-//! accounting per scheme.
+//! accounting per scheme. `--topology racks=R,pdus=P` attaches a
+//! hierarchical power topology to every cell and appends per-scheme
+//! rack-level breach accounting — the planning question then becomes
+//! how deep *per-rack* oversubscription can go, not just facility-wide.
 
 use antidope_repro::prelude::*;
 use dcmetrics::export::Table;
@@ -21,15 +25,34 @@ use rayon::prelude::*;
 
 const SLA_P90_MS: f64 = 100.0;
 
-/// Parse `--shards N` / `--shards=N` and `--retry` from the command
-/// line (defaults: 1 shard, no retry).
-fn cli_args() -> (usize, bool) {
+/// Parse `--shards N` / `--shards=N`, `--retry`, and
+/// `--topology racks=R,pdus=P` from the command line (defaults: 1
+/// shard, no retry, no topology).
+fn cli_args() -> (usize, bool, Option<TopologyConfig>) {
     let mut shards = 1;
     let mut retry = false;
+    let mut topology = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--retry" {
             retry = true;
+            continue;
+        }
+        if let Some(v) = match a.as_str() {
+            "--topology" => args.next(),
+            _ => a.strip_prefix("--topology=").map(str::to_string),
+        } {
+            let (mut racks, mut pdus) = (1, 1);
+            for part in v.split(',') {
+                match part.split_once('=') {
+                    Some(("racks", n)) => {
+                        racks = n.parse().expect("racks expects a positive integer")
+                    }
+                    Some(("pdus", n)) => pdus = n.parse().expect("pdus expects a positive integer"),
+                    _ => panic!("--topology expects racks=R,pdus=P, got {part:?}"),
+                }
+            }
+            topology = Some(TopologyConfig::with_racks(racks, pdus));
             continue;
         }
         let value = if a == "--shards" {
@@ -41,11 +64,11 @@ fn cli_args() -> (usize, bool) {
             shards = v.parse().expect("--shards expects a positive integer");
         }
     }
-    (shards, retry)
+    (shards, retry, topology)
 }
 
 fn main() {
-    let (shards, retry) = cli_args();
+    let (shards, retry, topology) = cli_args();
     const RATES: [f64; 4] = [0.0, 200.0, 390.0, 600.0];
     let rates = RATES;
     let budgets = BudgetLevel::ALL;
@@ -64,6 +87,7 @@ fn main() {
         "Sweeping {} cells (scheme × budget × attack rate), 120 s each…\n",
         cells.len()
     );
+    let topology = &topology;
     let reports: Vec<(SchemeKind, BudgetLevel, f64, SimReport)> = cells
         .par_iter()
         .map(|&(scheme, budget, rate)| {
@@ -100,6 +124,7 @@ fn main() {
             if retry {
                 exp.cluster.retry = Some(RetryConfig::default());
             }
+            exp.cluster.topology = *topology;
             exp.duration = SimDuration::from_secs(120);
             (scheme, budget, rate, antidope::run_experiment(&exp, &factory))
         })
@@ -159,6 +184,24 @@ fn main() {
                 totals.exhausted,
                 totals.breaker_trips,
                 totals.rerouted
+            );
+        }
+        if topology.is_some() {
+            let (breach, trips) = reports
+                .iter()
+                .filter(|(s, ..)| *s == scheme)
+                .filter_map(|(.., r)| r.topology.as_ref())
+                .fold((0u64, 0usize), |(b, k), t| {
+                    (
+                        b + t.rack_breach_slots.iter().sum::<u64>(),
+                        k + t.rack_trip_at_s.iter().flatten().count(),
+                    )
+                });
+            println!(
+                "  topology across {} cells: {} rack breach slots, {} rack breaker trips\n",
+                budgets.len() * rates.len(),
+                breach,
+                trips
             );
         }
     }

@@ -2,26 +2,39 @@
 //! compare Anti-DOPE against plain power capping.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-- --shards N] [-- --retry]
+//! cargo run --release --example quickstart \
+//!     [-- --shards N] [-- --retry] [-- --topology racks=R,pdus=P]
 //! ```
 //!
 //! `--shards N` (default 1) runs the sharded parallel engine with `N`
 //! dataplane shards; the default keeps the original event-driven
 //! engine. `--retry` switches on client-side request resilience
 //! (timeout + capped exponential backoff + pool circuit breakers) and
-//! prints each run's retry accounting.
+//! prints each run's retry accounting. `--topology racks=R,pdus=P`
+//! attaches a hierarchical power topology (per-rack budgets, breakers,
+//! and the rack guard) and prints each run's per-rack accounting;
+//! multi-rack runs always use the sharded engine.
 
 use antidope_repro::prelude::*;
 
-/// Parse `--shards N` / `--shards=N` and `--retry` from the command
-/// line (defaults: 1 shard, no retry).
-fn cli_args() -> (usize, bool) {
+/// Parse `--shards N` / `--shards=N`, `--retry`, and
+/// `--topology racks=R,pdus=P` from the command line (defaults: 1
+/// shard, no retry, no topology).
+fn cli_args() -> (usize, bool, Option<TopologyConfig>) {
     let mut shards = 1;
     let mut retry = false;
+    let mut topology = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--retry" {
             retry = true;
+            continue;
+        }
+        if let Some(v) = match a.as_str() {
+            "--topology" => args.next(),
+            _ => a.strip_prefix("--topology=").map(str::to_string),
+        } {
+            topology = Some(parse_topology(&v));
             continue;
         }
         let value = if a == "--shards" {
@@ -33,11 +46,24 @@ fn cli_args() -> (usize, bool) {
             shards = v.parse().expect("--shards expects a positive integer");
         }
     }
-    (shards, retry)
+    (shards, retry, topology)
+}
+
+/// Parse `racks=R,pdus=P` (pdus defaults to 1).
+fn parse_topology(spec: &str) -> TopologyConfig {
+    let (mut racks, mut pdus) = (1, 1);
+    for part in spec.split(',') {
+        match part.split_once('=') {
+            Some(("racks", n)) => racks = n.parse().expect("racks expects a positive integer"),
+            Some(("pdus", n)) => pdus = n.parse().expect("pdus expects a positive integer"),
+            _ => panic!("--topology expects racks=R,pdus=P, got {part:?}"),
+        }
+    }
+    TopologyConfig::with_racks(racks, pdus)
 }
 
 fn main() {
-    let (shards, retry) = cli_args();
+    let (shards, retry, topology) = cli_args();
     // A Colla-Filt flood at 390 req/s spread over 40 bots: each agent
     // stays far below the firewall's 150 req/s rule, but together they
     // push the rack past its oversubscribed power budget.
@@ -87,6 +113,7 @@ fn main() {
         if retry {
             exp.cluster.retry = Some(RetryConfig::default());
         }
+        exp.cluster.topology = topology;
         exp.duration = SimDuration::from_secs(120);
         let report = antidope::run_experiment(&exp, &factory);
         println!("{}", report.oneline());
@@ -105,6 +132,18 @@ fn main() {
                 "    resilience: {} retry attempts, {} recovered, {} exhausted, \
                  {} breaker trips, {} rerouted",
                 r.attempts, r.recovered, r.exhausted, r.breaker_trips, r.rerouted
+            );
+        }
+        if let Some(t) = &report.topology {
+            let peaks: Vec<String> = t.rack_peak_w.iter().map(|w| format!("{w:.0}")).collect();
+            println!(
+                "    topology: {} racks / {} PDUs, rack peaks [{}] W, \
+                 breach slots {:?}, hottest rack {}",
+                t.racks,
+                t.pdus,
+                peaks.join(", "),
+                t.rack_breach_slots,
+                t.hottest_rack
             );
         }
         println!();

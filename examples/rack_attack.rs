@@ -1,0 +1,164 @@
+//! Rack-concentrated flood: the hierarchical blind spot.
+//!
+//! A topology-aware NLB homes every URL on a rack (`url mod racks`).
+//! An attacker who maps that affinity can pick URLs from one congruence
+//! class and land its whole flood on a single rack: the *rack* breaker
+//! overloads while the *facility* meter still shows comfortable
+//! headroom — flat facility-level telemetry never sees the attack.
+//!
+//! ```text
+//! cargo run --release --example rack_attack [-- --topology racks=R,pdus=P]
+//! ```
+//!
+//! Three arms on a 16-node cluster (default 4 racks / 2 PDUs):
+//!
+//! * **no attack** — the goodput baseline.
+//! * **undefended** — hierarchy observes but does not act: the target
+//!   rack's breaker trips and takes all of its nodes down latched.
+//! * **defended** — the per-rack guard pins the breaching rack to the
+//!   safe P-state until the hold expires: no trip, goodput restored.
+
+use antidope_repro::prelude::*;
+
+/// Parse `--topology racks=R,pdus=P` / `--topology=racks=R,pdus=P`
+/// (default 4 racks, 2 PDUs).
+fn cli_topology() -> (usize, usize) {
+    let (mut racks, mut pdus) = (4, 2);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--topology" {
+            args.next()
+        } else {
+            a.strip_prefix("--topology=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            for part in v.split(',') {
+                match part.split_once('=') {
+                    Some(("racks", n)) => {
+                        racks = n.parse().expect("racks expects a positive integer")
+                    }
+                    Some(("pdus", n)) => pdus = n.parse().expect("pdus expects a positive integer"),
+                    _ => panic!("--topology expects racks=R,pdus=P, got {part:?}"),
+                }
+            }
+        }
+    }
+    (racks, pdus)
+}
+
+/// The shared topology: nested budgets without extra oversubscription
+/// headroom, so a concentrated flood can actually overload one rack
+/// while the facility (which the flood uses only 1/racks of) idles.
+fn topology(racks: usize, pdus: usize, defend: bool) -> TopologyConfig {
+    let mut t = TopologyConfig::with_racks(racks, pdus);
+    t.rack_oversub = 1.0;
+    t.pdu_oversub = 1.0;
+    t.row_oversub = 1.0;
+    t.defend = defend;
+    t
+}
+
+fn experiment(racks: usize, pdus: usize, defend: bool, seed: u64) -> ExperimentConfig {
+    let mut cluster = ClusterConfig::scaled(BudgetLevel::Low);
+    cluster.topology = Some(topology(racks, pdus, defend));
+    let mut exp = ExperimentConfig::paper_window(cluster, SchemeKind::None, seed);
+    exp.duration = SimDuration::from_secs(120);
+    exp
+}
+
+fn sources(
+    racks: usize,
+    attack_rate: f64,
+) -> impl Fn(&ExperimentConfig) -> Vec<Box<dyn TrafficSource>> {
+    move |exp: &ExperimentConfig| {
+        let horizon = SimTime::ZERO + exp.duration;
+        let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(exp.seed));
+        let mut out: Vec<Box<dyn TrafficSource>> = vec![Box::new(NormalUsers::new(
+            trace,
+            ServiceMix::alios_normal(),
+            80.0,
+            1_000,
+            60,
+            0,
+            horizon,
+            exp.seed,
+        ))];
+        if attack_rate > 0.0 {
+            out.push(Box::new(ConcentratingFloodSource::against_service(
+                attack_rate,
+                ServiceKind::CollaFilt,
+                racks,
+                900, // URL range base: one URL per rack congruence class
+                exp.duration, // never re-aims inside the window
+                50_000,
+                40,
+                1 << 40,
+                SimTime::from_secs(5),
+                horizon,
+                exp.seed ^ 0x5EED,
+            )));
+        }
+        out
+    }
+}
+
+fn describe(label: &str, report: &SimReport) {
+    println!("{label}:");
+    println!(
+        "    facility: avg {:.0} W / peak {:.0} W against {:.0} W ({} violating slots)",
+        report.power.avg_w, report.power.peak_w, report.power.supply_w, report.power.violations
+    );
+    println!(
+        "    normal users: completion {:.1}%, mean {:.1} ms",
+        report.normal_sla.completion_rate() * 100.0,
+        report.normal_latency.mean_ms
+    );
+    if let Some(t) = &report.topology {
+        let peaks: Vec<String> = t.rack_peak_w.iter().map(|w| format!("{w:.0}")).collect();
+        println!(
+            "    racks: peaks [{}] W, breach slots {:?}, facility breach slots {}",
+            peaks.join(", "),
+            t.rack_breach_slots,
+            t.facility_breach_slots
+        );
+        for (r, at) in t.rack_trip_at_s.iter().enumerate() {
+            if let Some(at) = at {
+                println!("    rack {r} breaker TRIPPED at {at:.0} s (nodes latched off)");
+            }
+        }
+        println!(
+            "    hottest rack by energy: {} (guard active {} slots)",
+            t.hottest_rack, t.guard_slots
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let (racks, pdus) = cli_topology();
+    let seed = 42;
+    println!(
+        "16 × 100 W cluster, Low-PB = 1280 W facility, {racks} racks / {pdus} PDUs.\n\
+         Concentrating flood: 420 req/s of Colla-Filt aimed at one rack's URL class.\n"
+    );
+
+    let clean = antidope::run_experiment(&experiment(racks, pdus, false, seed), &sources(racks, 0.0));
+    describe("no attack", &clean);
+
+    let undefended =
+        antidope::run_experiment(&experiment(racks, pdus, false, seed), &sources(racks, 420.0));
+    describe("undefended (observe only)", &undefended);
+
+    let defended =
+        antidope::run_experiment(&experiment(racks, pdus, true, seed), &sources(racks, 420.0));
+    describe("defended (per-rack guard)", &defended);
+
+    let restored =
+        defended.normal_sla.completion_rate() / clean.normal_sla.completion_rate().max(1e-9);
+    println!(
+        "The facility meter never saw a violation in any arm; only the rack-level\n\
+         view catches the concentrated flood. The guard holds goodput at {:.1}% of\n\
+         the attack-free baseline without tripping a single breaker.",
+        restored * 100.0
+    );
+}

@@ -30,6 +30,7 @@ pub mod prelude {
         RetryReport, SchemeKind, SimReport,
     };
     pub use antidope::{record_experiment, ControlTrace};
+    pub use antidope::{HierarchicalBudget, PowerTopology, TopologyConfig, TopologyReport};
     pub use liveplane::{LiveDaemon, LiveSummary, ReplayClock, ReplayTelemetry};
     pub use netsim::RetryConfig;
     pub use powercap::BudgetLevel;
@@ -38,7 +39,7 @@ pub mod prelude {
     pub use simcore::{SimDuration, SimTime};
     pub use workloads::{
         alibaba::{AlibabaTraceConfig, UtilizationTrace},
-        attacker::{AttackTool, FloodSource, RotatingFloodSource},
+        attacker::{AttackTool, ConcentratingFloodSource, FloodSource, RotatingFloodSource},
         dope::{DopeAttacker, DopeConfig},
         normal::NormalUsers,
         service::{ServiceKind, ServiceMix},

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod figures;
+pub mod grid;
 pub mod plots;
 pub mod scenarios;
 

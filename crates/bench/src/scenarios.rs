@@ -3,11 +3,10 @@
 use antidope::{run_experiment, ClusterConfig, ExperimentConfig, SchemeKind, SimReport};
 use powercap::BudgetLevel;
 use simcore::{SimDuration, SimTime};
-use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
-use workloads::attacker::{AttackTool, FloodSource, RotatingFloodSource};
+use workloads::attacker::{AttackTool, RotatingFloodSource};
 use workloads::floods::FloodKind;
-use workloads::normal::NormalUsers;
-use workloads::service::{ServiceKind, ServiceMix};
+use workloads::scenario::{ScenarioBuilder, SeedPin};
+use workloads::service::ServiceKind;
 use workloads::source::TrafficSource;
 
 /// Peak arrival rate of the normal population in every scenario,
@@ -19,40 +18,35 @@ pub const NORMAL_PEAK_RATE: f64 = 80.0;
 pub const BOTS: u32 = 40;
 
 /// Build the normal-user source (Alibaba-trace-shaped AliOS population).
+///
+/// The canonical builder lives in [`antidope::testutil`] (itself a
+/// pinned [`workloads::ScenarioBuilder`] assembly); the bench peak rate
+/// is fixed here.
 pub fn normal_users(seed: u64, horizon: SimTime) -> Box<dyn TrafficSource> {
-    // The synthetic trace tiles if the window exceeds it; use the small
-    // config (1 s granularity) so short windows still see variation.
-    let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(seed));
-    Box::new(NormalUsers::new(
-        trace,
-        ServiceMix::alios_normal(),
-        NORMAL_PEAK_RATE,
-        1_000,
-        60,
-        0,
-        horizon,
-        seed,
-    ))
+    antidope::testutil::normal_source(seed, horizon, NORMAL_PEAK_RATE)
 }
 
 /// An http-load attack on a service kernel at `rate` requests/s,
-/// starting at t = 5 s.
+/// starting at t = 5 s. Pinned to the historical placement (address
+/// 50 000, id-space `1 << 40`, `seed ^ 0x5EED`).
 pub fn service_attack(
     victim: ServiceKind,
     rate: f64,
     seed: u64,
     horizon: SimTime,
 ) -> Box<dyn TrafficSource> {
-    Box::new(FloodSource::against_service(
-        AttackTool::HttpLoad { rate },
-        victim,
-        50_000,
-        BOTS,
-        1 << 40,
-        SimTime::from_secs(5),
-        horizon,
-        seed ^ 0x5EED,
-    ))
+    ScenarioBuilder::new()
+        .with_attack_spanning(
+            AttackTool::HttpLoad { rate },
+            victim,
+            BOTS,
+            SimTime::from_secs(5),
+            None,
+        )
+        .pinned(50_000, 1 << 40, SeedPin::Xor(0x5EED))
+        .build(seed, horizon)
+        .pop()
+        .expect("builder holds exactly one ingredient")
 }
 
 /// First URL of the rotating attacker's range — deliberately outside
@@ -91,16 +85,12 @@ pub fn layer_flood(
     seed: u64,
     horizon: SimTime,
 ) -> Box<dyn TrafficSource> {
-    Box::new(FloodSource::flood(
-        kind,
-        rate,
-        50_000,
-        bots,
-        1 << 40,
-        SimTime::from_secs(5),
-        horizon,
-        seed ^ 0xF100D,
-    ))
+    ScenarioBuilder::new()
+        .with_flood(kind, rate, bots, 5)
+        .pinned(50_000, 1 << 40, SeedPin::Xor(0xF100D))
+        .build(seed, horizon)
+        .pop()
+        .expect("builder holds exactly one ingredient")
 }
 
 /// An experiment config with an optional firewall override.

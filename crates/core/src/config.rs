@@ -60,6 +60,9 @@ pub enum ConfigError {
     /// The retry / circuit-breaker policy was invalid (the wrapped
     /// error names the offending knob and its value).
     Retry(netsim::ConfigError),
+    /// The staged admission-pipeline configuration was invalid (the
+    /// wrapped error names the offending stage parameter).
+    Admission(netsim::ConfigError),
     /// A power-topology level count broke the nesting invariant
     /// `rows ≤ pdus ≤ racks ≤ servers` (every level needs at least one
     /// child per parent feed).
@@ -112,6 +115,7 @@ impl std::fmt::Display for ConfigError {
                 "shard count {shards} must be in 1..={servers} (one node per shard minimum)"
             ),
             ConfigError::Retry(e) => write!(f, "retry policy: {e}"),
+            ConfigError::Admission(e) => write!(f, "admission pipeline: {e}"),
             ConfigError::Topology { what, count, max } => write!(
                 f,
                 "topology: {what} = {count} must be in 1..={max} (levels nest: rows ≤ pdus ≤ racks ≤ servers)"
@@ -307,6 +311,12 @@ pub struct ClusterConfig {
     /// runner routes such configs through it even at `shards: 1`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub retry: Option<RetryConfig>,
+    /// Staged admission pipeline in front of the NLB (CAPoW-style
+    /// cost-to-serve pricing, firewall ban-duration override). `None`
+    /// (the default) keeps the bare firewall perimeter and is
+    /// byte-identical to configs written before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub admission: Option<AdmissionConfig>,
     /// Hierarchical power topology (racks → PDUs → rows → facility)
     /// with per-level oversubscribed budgets, breakers, and the
     /// top-down [`crate::topology::HierarchicalBudget`] allocator.
@@ -338,6 +348,43 @@ fn default_shards() -> usize {
     1
 }
 
+/// Declarative admission-pipeline configuration: which stages run in
+/// front of the NLB beyond the base firewall toggle, and perimeter
+/// overrides the firewall's `FirewallConfig` defaults don't expose
+/// through the flat `ClusterConfig` knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AdmissionConfig {
+    /// CAPoW-style cost-to-serve pricing stage after the firewall.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cost_to_serve: Option<netsim::CostToServeConfig>,
+    /// Finite firewall ban duration in seconds (default: bans are
+    /// permanent for the run). Finite bans are what an ON/OFF burst
+    /// envelope exploits: sleep past the ban, burst again.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub firewall_ban_s: Option<f64>,
+}
+
+impl AdmissionConfig {
+    /// Validate stage parameters with the same typed errors their
+    /// runtime constructors raise.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(c) = &self.cost_to_serve {
+            netsim::CostToServe::try_new(simcore::SimTime::ZERO, *c)
+                .map_err(ConfigError::Admission)?;
+        }
+        if let Some(ban) = self.firewall_ban_s {
+            if ban <= 0.0 || !ban.is_finite() {
+                return Err(ConfigError::Admission(netsim::ConfigError::Parameter {
+                    component: "AdmissionConfig",
+                    field: "firewall_ban_s",
+                    value: ban,
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl ClusterConfig {
     /// The paper's scaled-down testbed: 4 × 100 W nodes (we give each 4
     /// cores), 2-minute battery, 1 s control slots, deflate-style
@@ -362,6 +409,7 @@ impl ClusterConfig {
             faults: None,
             profiler: None,
             retry: None,
+            admission: None,
             topology: None,
             control: ControlPlaneConfig::default(),
             shards: default_shards(),
@@ -439,6 +487,9 @@ impl ClusterConfig {
         if let Some(r) = &self.retry {
             r.validate()?;
         }
+        if let Some(a) = &self.admission {
+            a.validate()?;
+        }
         if let Some(t) = &self.topology {
             t.validate(self.servers)?;
         }
@@ -449,6 +500,37 @@ impl ClusterConfig {
     /// when none is configured.
     pub fn effective_racks(&self) -> usize {
         self.topology.as_ref().map_or(1, |t| t.racks)
+    }
+
+    /// Build the staged admission pipeline this config describes: the
+    /// flat firewall knobs fill the front slot (with the admission
+    /// config's ban-duration override applied), and the configured
+    /// stages follow. Both engines construct their perimeter through
+    /// this one method so a given config admits identically everywhere.
+    pub fn build_admission(&self, start: simcore::SimTime) -> netsim::AdmissionPipeline {
+        let mut pipeline = netsim::AdmissionPipeline::new();
+        if self.firewall {
+            let ban_duration = self
+                .admission
+                .as_ref()
+                .and_then(|a| a.firewall_ban_s)
+                .map(SimDuration::from_secs_f64);
+            pipeline = pipeline.with_firewall(netsim::Firewall::new(
+                start,
+                netsim::FirewallConfig {
+                    threshold_rps: self.firewall_threshold_rps,
+                    detection_lag: self.firewall_lag,
+                    ban_duration,
+                    ..netsim::FirewallConfig::default()
+                },
+            ));
+        }
+        if let Some(cost) = self.admission.as_ref().and_then(|a| a.cost_to_serve) {
+            let stage = netsim::CostToServe::try_new(start, cost)
+                .expect("admission config checked by ClusterConfig::validate");
+            pipeline = pipeline.with_stage(Box::new(stage));
+        }
+        pipeline
     }
 }
 

@@ -1083,6 +1083,7 @@ mod codec {
             ("cusum_slack".into(), Json::f64(p.cusum_slack)),
             ("cusum_threshold".into(), Json::f64(p.cusum_threshold)),
             ("cusum_warmup".into(), Json::u64(u64::from(p.cusum_warmup))),
+            ("track_convergence".into(), Json::Bool(p.track_convergence)),
         ])
     }
 
@@ -1103,6 +1104,12 @@ mod codec {
             cusum_slack: v.get("cusum_slack")?.as_f64()?,
             cusum_threshold: v.get("cusum_threshold")?.as_f64()?,
             cusum_warmup: v.get("cusum_warmup")?.as_u32()?,
+            // Absent in pre-convergence-tracking traces: defaults off.
+            track_convergence: v
+                .get_opt("track_convergence")?
+                .map(|b| b.as_bool())
+                .transpose()?
+                .unwrap_or(false),
         })
     }
 
@@ -1179,6 +1186,41 @@ mod codec {
         })
     }
 
+    fn admission_j(a: &crate::config::AdmissionConfig) -> Json {
+        Json::Obj(vec![
+            (
+                "cost_to_serve".into(),
+                Json::opt(&a.cost_to_serve, |c| {
+                    Json::Obj(vec![
+                        ("budget_per_s".into(), Json::f64(c.budget_per_s)),
+                        ("burst_s".into(), Json::f64(c.burst_s)),
+                        ("mem_surcharge".into(), Json::f64(c.mem_surcharge)),
+                    ])
+                }),
+            ),
+            (
+                "firewall_ban_s".into(),
+                Json::opt(&a.firewall_ban_s, |b| Json::f64(*b)),
+            ),
+        ])
+    }
+
+    fn admission_f(v: &Json) -> R<crate::config::AdmissionConfig> {
+        Ok(crate::config::AdmissionConfig {
+            cost_to_serve: v
+                .get_opt("cost_to_serve")?
+                .map(|c| {
+                    Ok::<_, String>(netsim::CostToServeConfig {
+                        budget_per_s: c.get("budget_per_s")?.as_f64()?,
+                        burst_s: c.get("burst_s")?.as_f64()?,
+                        mem_surcharge: c.get("mem_surcharge")?.as_f64()?,
+                    })
+                })
+                .transpose()?,
+            firewall_ban_s: v.get_opt("firewall_ban_s")?.map(|b| b.as_f64()).transpose()?,
+        })
+    }
+
     fn cluster_j(c: &ClusterConfig) -> Json {
         Json::Obj(vec![
             ("servers".into(), Json::u64(c.servers as u64)),
@@ -1202,6 +1244,7 @@ mod codec {
             ("control".into(), control_j(&c.control)),
             ("shards".into(), Json::u64(c.shards as u64)),
             ("topology".into(), Json::opt(&c.topology, topology_j)),
+            ("admission".into(), Json::opt(&c.admission, admission_j)),
         ])
     }
 
@@ -1229,6 +1272,8 @@ mod codec {
             shards: v.get("shards")?.as_usize()?,
             // Absent in pre-topology traces: they parse as None.
             topology: v.get_opt("topology")?.map(topology_f).transpose()?,
+            // Absent in pre-admission traces: they parse as None.
+            admission: v.get_opt("admission")?.map(admission_f).transpose()?,
         })
     }
 

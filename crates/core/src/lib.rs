@@ -62,7 +62,9 @@ pub mod topology;
 
 
 pub use cluster::ClusterSim;
-pub use config::{ClusterConfig, ConfigError, ControlPlaneConfig, ExperimentConfig, SchemeKind};
+pub use config::{
+    AdmissionConfig, ClusterConfig, ConfigError, ControlPlaneConfig, ExperimentConfig, SchemeKind,
+};
 pub use control::plane::{
     ActionRecord, ActuationTransport, BatteryObs, ConditionRecord, ControlClock, ControlTrace,
     DecisionRecord, Forget, ForgetKind, NodeObs, PlaneSample, ShardGuard, SlotRecord, SlotTick,

@@ -106,6 +106,16 @@ impl ComputeNode {
         self.model.power(self.dvfs.effective(), u, i, g)
     }
 
+    /// The power this node would still draw at the deepest P-state with
+    /// its current resident mix — the floor DVFS cannot throttle below.
+    /// A memory-bound mix (low γ) keeps most of its dynamic power here;
+    /// the gap between [`ComputeNode::power_w`] and this floor is the
+    /// only headroom a capping-style defense can actually reclaim.
+    pub fn unreclaimable_power_w(&self) -> f64 {
+        let (u, i, g) = self.queue.load_character();
+        self.model.power(self.table().min_state(), u, i, g)
+    }
+
     /// Offer a request to the queue.
     pub fn push(&mut self, now: SimTime, req: Request) -> PushOutcome {
         self.queue.push(now, req)
@@ -255,6 +265,35 @@ mod tests {
             n.push(SimTime::ZERO, req(&mut b, 2.4, 1.0, 1.0));
         }
         assert!((n.power_w() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_mix_pins_the_unreclaimable_floor() {
+        let mut cpu = node();
+        let mut mem = node();
+        let mut b = RequestBuilder::new();
+        for _ in 0..4 {
+            cpu.push(
+                SimTime::ZERO,
+                b.build(UrlId(0), SourceId(0), SimTime::ZERO, 2.4, 1.0, 1.0, 0.9, false),
+            );
+            // The MemoryBound attack profile: β 0.15, intensity 1, γ 0.2.
+            mem.push(
+                SimTime::ZERO,
+                b.build(UrlId(1), SourceId(1), SimTime::ZERO, 2.4, 0.15, 1.0, 0.2, true),
+            );
+        }
+        // Identical draw at the nominal P-state...
+        assert!((cpu.power_w() - mem.power_w()).abs() < 1e-9);
+        // ...but the deepest P-state reclaims far less from the memory
+        // mix: most of its dynamic power ignores the V/F curve.
+        assert!(
+            mem.unreclaimable_power_w() > cpu.unreclaimable_power_w() + 20.0,
+            "mem floor {} vs cpu floor {}",
+            mem.unreclaimable_power_w(),
+            cpu.unreclaimable_power_w()
+        );
+        assert!(mem.unreclaimable_power_w() <= mem.power_w() + 1e-9);
     }
 
     #[test]

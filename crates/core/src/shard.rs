@@ -94,7 +94,7 @@ use crate::scheme::{self, PowerScheme};
 use crate::{cluster::Ev, config::ClusterConfig};
 use dcmetrics::availability::RequestOutcome;
 use dcmetrics::{LatencyHistogram, OnlineSummary, SlaTracker, TimeSeries};
-use netsim::firewall::{Firewall, FirewallConfig, FirewallVerdict};
+use netsim::admission::{AdmissionDecision, AdmissionPipeline, StageKind};
 use netsim::nlb::Nlb;
 use netsim::queueing::PushOutcome;
 use netsim::request::{Request, RequestId, UrlId};
@@ -638,7 +638,8 @@ pub struct ShardedClusterSim {
     nodes: Vec<ComputeNode>,
     node_dead: Vec<bool>,
     nlb: Nlb,
-    firewall: Option<Firewall>,
+    /// Staged perimeter: firewall + configured admission stages.
+    admission: AdmissionPipeline,
     battery: Battery,
     flows: BatteryFlows,
     pipeline: ControlPipeline,
@@ -703,16 +704,7 @@ impl ShardedClusterSim {
         let nodes: Vec<ComputeNode> = (0..cfg.servers)
             .map(|_| ComputeNode::new(start, cfg.cores_per_server, cfg.max_inflight, cfg.dvfs_latency))
             .collect();
-        let firewall = cfg.firewall.then(|| {
-            Firewall::new(
-                start,
-                FirewallConfig {
-                    threshold_rps: cfg.firewall_threshold_rps,
-                    detection_lag: cfg.firewall_lag,
-                    ..FirewallConfig::default()
-                },
-            )
-        });
+        let admission = cfg.build_admission(start);
         let mut battery =
             Battery::sized_for(start, cfg.aggregate_nameplate_w(), cfg.battery_sustain);
         let budget = PowerBudget::for_cluster(cfg.aggregate_nameplate_w(), cfg.budget);
@@ -809,7 +801,7 @@ impl ShardedClusterSim {
             nodes,
             node_dead: vec![false; cfg.servers],
             nlb,
-            firewall,
+            admission,
             battery,
             flows: BatteryFlows::default(),
             pipeline,
@@ -980,11 +972,20 @@ impl ShardedClusterSim {
         let is_attack = req.is_attack;
         let source_id = req.source;
 
-        // 1. Perimeter firewall.
-        if let Some(fw) = &mut self.firewall {
-            if fw.inspect(now, source_id) == FirewallVerdict::Blocked {
+        // 1. Staged admission perimeter (firewall first, then any
+        // configured stages; first denial wins). A firewall denial is a
+        // perimeter detection the source can observe; every other stage
+        // looks like a 503.
+        match self.admission.decide(now, &req) {
+            AdmissionDecision::Admit => {}
+            AdmissionDecision::Deny(StageKind::Firewall) => {
                 self.record_outcome(is_attack, RequestOutcome::Dropped);
                 self.sources.feedback(now, src_idx, SourceEvent::Blocked(source_id));
+                return;
+            }
+            AdmissionDecision::Deny(_) => {
+                self.record_outcome(is_attack, RequestOutcome::Dropped);
+                self.sources.feedback(now, src_idx, SourceEvent::Rejected(source_id));
                 return;
             }
         }
@@ -1713,14 +1714,11 @@ impl ShardedClusterSim {
         }
         let account = &self.pipeline.account;
         let monitor = &self.pipeline.filter.monitor;
-        let firewall_blocked = self
-            .firewall
-            .as_ref()
-            .map(|f| f.blocked_requests())
-            .unwrap_or(0);
+        let firewall_blocked = self.admission.firewall_blocked();
+        let admission_denied = self.admission.stage_denied();
         let queue_rejected: u64 = self.nodes.iter().map(|n| n.rejected()).sum::<u64>()
             + self.fault.as_ref().map_or(0, |f| f.retired_rejected);
-        let drops = firewall_blocked + self.scheme_denied_drops + queue_rejected;
+        let drops = firewall_blocked + admission_denied + self.scheme_denied_drops + queue_rejected;
         let duration_s = horizon.as_secs_f64();
         let supply_w = monitor.budget().supply_w;
 
@@ -1850,6 +1848,11 @@ impl ShardedClusterSim {
                 breaker_trips: r.breakers.trips(),
                 rerouted: r.rerouted,
             }),
+            admission: self
+                .config
+                .admission
+                .is_some()
+                .then(|| self.admission.report()),
             topology,
             events: self.events + shard_events,
         }

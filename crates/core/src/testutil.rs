@@ -12,43 +12,44 @@
 use crate::config::{ClusterConfig, ExperimentConfig, SchemeKind};
 use powercap::budget::BudgetLevel;
 use simcore::{SimDuration, SimTime};
-use workloads::alibaba::{AlibabaTraceConfig, UtilizationTrace};
-use workloads::attacker::{AttackTool, FloodSource};
-use workloads::normal::NormalUsers;
-use workloads::service::{ServiceKind, ServiceMix};
+use workloads::attacker::AttackTool;
+use workloads::scenario::{ScenarioBuilder, SeedPin};
+use workloads::service::ServiceKind;
 use workloads::source::TrafficSource;
 
 /// The standard normal-user population: AliOS service mix over a small
 /// synthesized Alibaba utilization trace, 1000 users across 60 front
 /// ends, peaking at `peak_rate` requests/s.
+///
+/// Assembled through [`ScenarioBuilder`] with the historical placement
+/// pinned (address 1000, id-space 0, raw seed), so reports stay
+/// byte-identical to the hand-rolled original.
 pub fn normal_source(seed: u64, horizon: SimTime, peak_rate: f64) -> Box<dyn TrafficSource> {
-    let trace = UtilizationTrace::synthesize(&AlibabaTraceConfig::small(seed));
-    Box::new(NormalUsers::new(
-        trace,
-        ServiceMix::alios_normal(),
-        peak_rate,
-        1000,
-        60,
-        0,
-        horizon,
-        seed,
-    ))
+    ScenarioBuilder::new()
+        .with_normal_users(peak_rate, 60)
+        .pinned(1_000, 0, SeedPin::Raw)
+        .build(seed, horizon)
+        .pop()
+        .expect("builder holds exactly one ingredient")
 }
 
 /// The standard flood: http-load against the Colla-Filt service at
 /// `rate` requests/s total, spread over 40 bots (stealthy per-source
-/// rates), active on `[start, stop)`.
+/// rates), active on `[start, stop)`. Pinned to the historical
+/// placement (address 50 000, id-space `1 << 40`, raw seed).
 pub fn attack_source(seed: u64, rate: f64, start: SimTime, stop: SimTime) -> Box<dyn TrafficSource> {
-    Box::new(FloodSource::against_service(
-        AttackTool::HttpLoad { rate },
-        ServiceKind::CollaFilt,
-        50_000,
-        40,
-        1 << 40,
-        start,
-        stop,
-        seed,
-    ))
+    ScenarioBuilder::new()
+        .with_attack_spanning(
+            AttackTool::HttpLoad { rate },
+            ServiceKind::CollaFilt,
+            40,
+            start,
+            Some(stop),
+        )
+        .pinned(50_000, 1 << 40, SeedPin::Raw)
+        .build(seed, stop)
+        .pop()
+        .expect("builder holds exactly one ingredient")
 }
 
 /// A paper-rack experiment shortened to `secs` — the standard cell for

@@ -337,6 +337,39 @@ mod tests {
     }
 
     #[test]
+    fn botnet_under_threshold_evades_while_single_source_is_banned() {
+        // The botnet evasion region of Fig 11: three bots each at
+        // 149 req/s — one under the deflate trigger — deliver an
+        // aggregate of 447 req/s (3× the single-source trigger) and are
+        // never banned. Arrivals interleave across bots so every poll
+        // window sees all three counters live simultaneously.
+        let mut f = fw(150.0, 5);
+        for sec in 0..30u64 {
+            for i in 0..149u64 {
+                for bot in 0..3u32 {
+                    let t = SimTime::from_secs(sec)
+                        + SimDuration::from_micros(i * 1_000_000 / 149 + u64::from(bot));
+                    assert_eq!(
+                        f.inspect(t, SourceId(bot)),
+                        FirewallVerdict::Pass,
+                        "bot {bot} blocked at {t:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(f.bans_issued(), 0);
+        assert_eq!(f.blocked_requests(), 0);
+
+        // The same 447 req/s from one address is caught: banned at the
+        // first poll, blocked once the 5 s detection lag elapses.
+        let mut single = fw(150.0, 5);
+        let passed = flood(&mut single, SourceId(9), 447, 30, SimTime::ZERO);
+        assert!(single.is_banned(SourceId(9)));
+        assert!(single.blocked_requests() > 0);
+        assert!(passed < 447 * 30, "some of the flood must be dropped");
+    }
+
+    #[test]
     fn idle_source_state_resets_each_poll() {
         let mut f = fw(150.0, 0);
         // 200 requests in one burst within second 0 (i.e. 200 rps), then quiet.

@@ -23,10 +23,15 @@
 //!   end-to-end resilience dataplane: bounded retry with exponential
 //!   backoff + jitter, and per-pool circuit breakers that steer traffic
 //!   away from a tripped rack.
+//! * [`AdmissionPipeline`] — the staged perimeter the NLB runs before
+//!   routing: firewall, CAPoW-style [`CostToServe`] pricing, and
+//!   power-bucket stages behind one [`AdmissionStage`] trait with
+//!   per-stage verdict accounting.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod error;
 pub mod firewall;
 pub mod nlb;
@@ -36,6 +41,10 @@ pub mod resilience;
 pub mod suspect;
 pub mod token_bucket;
 
+pub use admission::{
+    AdmissionDecision, AdmissionPipeline, AdmissionReport, AdmissionStage, CostToServe,
+    CostToServeConfig, PowerBucketStage, StageKind, StageReport,
+};
 pub use error::ConfigError;
 pub use firewall::{Firewall, FirewallConfig, FirewallVerdict};
 pub use nlb::{ForwardingPolicy, Nlb, RackPlacement};

@@ -53,6 +53,11 @@ pub struct ProfilerConfig {
     /// Learning observations of a URL before its CUSUM arms (the initial
     /// RLS transient must not read as drift).
     pub cusum_warmup: u32,
+    /// Record the suspect list into the report every tick it changes
+    /// (`ProfilerReport::suspect_timeline`). Off by default: the timeline
+    /// is a measurement artifact for convergence studies, not something a
+    /// production control loop needs to carry.
+    pub track_convergence: bool,
 }
 
 impl Default for ProfilerConfig {
@@ -73,6 +78,7 @@ impl Default for ProfilerConfig {
             cusum_slack: 0.5,
             cusum_threshold: 8.0,
             cusum_warmup: 8,
+            track_convergence: false,
         }
     }
 }

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use simcore::FxHashMap;
 
 /// Accounting of one run of the online profiler, for reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProfilerReport {
     /// Learning observations absorbed (nominal-V/F node-ticks).
     pub observations: u64,
@@ -45,6 +45,34 @@ pub struct ProfilerReport {
     pub stale_demotions: u64,
     /// Entries evicted to make room for newcomers.
     pub evictions: u64,
+    /// Snapshot of the suspect list at every tick it changed, as
+    /// `(tick, suspects)` pairs. Recorded only when
+    /// [`ProfilerConfig::track_convergence`] is on — convergence-lag
+    /// ("regret") studies replay the attacker's move plan against this
+    /// timeline to measure how many slots each move stayed undetected.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub suspect_timeline: Vec<(u64, Vec<UrlId>)>,
+}
+
+// Hand-written so reports without a timeline render exactly as before
+// the field existed: golden report files stay byte-identical for every
+// run that does not opt into convergence tracking.
+impl std::fmt::Debug for ProfilerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ProfilerReport");
+        d.field("observations", &self.observations);
+        d.field("skipped", &self.skipped);
+        d.field("tracked_urls", &self.tracked_urls);
+        d.field("suspect_urls", &self.suspect_urls);
+        d.field("reclassifications", &self.reclassifications);
+        d.field("drift_events", &self.drift_events);
+        d.field("stale_demotions", &self.stale_demotions);
+        d.field("evictions", &self.evictions);
+        if !self.suspect_timeline.is_empty() {
+            d.field("suspect_timeline", &self.suspect_timeline);
+        }
+        d.finish()
+    }
 }
 
 /// The classification artifact PDF consumes: URL → class with hysteresis
@@ -400,6 +428,11 @@ impl PowerProfiler {
                 self.stats.reclassifications += 1;
                 changed = true;
             }
+        }
+        if changed && self.cfg.track_convergence {
+            self.stats
+                .suspect_timeline
+                .push((self.tick, self.list.suspects()));
         }
         changed
     }

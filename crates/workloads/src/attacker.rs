@@ -8,56 +8,26 @@
 //!   (AB's `-c` flag). Closed-loop attacks self-throttle when the victim
 //!   slows down — one reason open-loop floods are the more dangerous
 //!   power weapon.
+//!
+//! The three flood structs here are thin facades over the composable
+//! [`AttackVector`] engine (see
+//! [`crate::vector`]): each pins one historical combination of the four
+//! strategy axes and preserves its exact construction signature, labels,
+//! RNG draw order, and byte-for-byte arrival streams.
 
 use crate::floods::FloodKind;
 use crate::service::ServiceKind;
 use crate::source::{SourceEvent, TrafficSource};
-use netsim::request::{Request, RequestBuilder, SourceId, UrlId};
-use simcore::rng::{streams, SimRng};
-use simcore::{RngFactory, SimDuration, SimTime};
+use crate::vector::AttackVector;
+use netsim::request::{Request, UrlId};
+use simcore::{SimDuration, SimTime};
 
-/// Which tool generates the attack traffic.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AttackTool {
-    /// Open-loop flood at `rate` requests/s aggregate.
-    HttpLoad {
-        /// Aggregate request rate, requests/s.
-        rate: f64,
-    },
-    /// Closed-loop with `concurrency` outstanding requests.
-    ApacheBench {
-        /// Maximum outstanding requests.
-        concurrency: u32,
-    },
-}
+pub use crate::vector::AttackTool;
 
-/// Demand parameters for the attack's requests.
-#[derive(Debug, Clone, Copy)]
-struct Demand {
-    url: UrlId,
-    mean_work: f64,
-    beta: f64,
-    intensity: f64,
-    gamma: f64,
-}
-
-/// A configurable attack traffic source.
+/// A configurable attack traffic source: constant envelope, fixed
+/// target, victim resource profile (the legacy Fig 5 shape).
 pub struct FloodSource {
-    tool: AttackTool,
-    demand: Demand,
-    /// Botnet addresses `[source_base, source_base + bots)`.
-    source_base: u32,
-    bots: u32,
-    bot_cursor: u32,
-    builder: RequestBuilder,
-    rng: SimRng,
-    clock: SimTime,
-    start: SimTime,
-    stop: SimTime,
-    /// Closed-loop state: outstanding request count.
-    outstanding: u32,
-    label: String,
-    blocked_seen: u64,
+    inner: AttackVector,
 }
 
 impl FloodSource {
@@ -73,24 +43,18 @@ impl FloodSource {
         stop: SimTime,
         seed: u64,
     ) -> Self {
-        let p = victim.profile();
-        Self::new(
-            tool,
-            Demand {
-                url: victim.url(),
-                mean_work: p.mean_work_gcycles,
-                beta: p.beta,
-                intensity: p.intensity,
-                gamma: p.gamma,
-            },
-            source_base,
-            bots,
-            id_base,
-            start,
-            stop,
-            seed,
-            format!("{}@{}", tool_name(tool), victim.name()),
-        )
+        FloodSource {
+            inner: AttackVector::against_service(
+                tool,
+                victim,
+                source_base,
+                bots,
+                id_base,
+                start,
+                stop,
+                seed,
+            ),
+        }
     }
 
     /// Launch one of the Fig 3 flood kinds.
@@ -105,161 +69,38 @@ impl FloodSource {
         stop: SimTime,
         seed: u64,
     ) -> Self {
-        let p = kind.params();
-        Self::new(
-            AttackTool::HttpLoad { rate },
-            Demand {
-                url: p.url,
-                mean_work: p.work_gcycles,
-                beta: p.beta,
-                intensity: p.intensity,
-                gamma: p.gamma,
-            },
-            source_base,
-            bots,
-            id_base,
-            start,
-            stop,
-            seed,
-            kind.name().to_string(),
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        tool: AttackTool,
-        demand: Demand,
-        source_base: u32,
-        bots: u32,
-        id_base: u64,
-        start: SimTime,
-        stop: SimTime,
-        seed: u64,
-        label: String,
-    ) -> Self {
-        assert!(bots >= 1);
-        assert!(stop > start);
-        if let AttackTool::HttpLoad { rate } = tool {
-            assert!(rate > 0.0);
-        }
         FloodSource {
-            tool,
-            demand,
-            source_base,
-            bots,
-            bot_cursor: 0,
-            builder: RequestBuilder::starting_at(id_base),
-            rng: SimRng::new(seed),
-            clock: start,
-            start,
-            stop,
-            outstanding: 0,
-            label,
-            blocked_seen: 0,
+            inner: AttackVector::flood(kind, rate, source_base, bots, id_base, start, stop, seed),
         }
     }
 
     /// Aggregate rate for open-loop tools.
     pub fn rate(&self) -> Option<f64> {
-        match self.tool {
-            AttackTool::HttpLoad { rate } => Some(rate),
-            AttackTool::ApacheBench { .. } => None,
-        }
+        self.inner.rate()
     }
 
     /// Per-bot rate for open-loop tools (what the firewall sees).
     pub fn per_bot_rate(&self) -> Option<f64> {
-        self.rate().map(|r| r / self.bots as f64)
+        self.inner.per_bot_rate()
     }
 
     /// Blocked events observed so far.
     pub fn blocked_seen(&self) -> u64 {
-        self.blocked_seen
-    }
-
-    fn build(&mut self, arrival: SimTime) -> Request {
-        // Deterministic round-robin over the botnet: every agent behaves
-        // identically "like a normal user at the networking level".
-        let bot = SourceId(self.source_base + self.bot_cursor % self.bots);
-        self.bot_cursor = self.bot_cursor.wrapping_add(1);
-        // Work jitter: ±20 % uniform (attack tools replay fixed queries).
-        let work = self.demand.mean_work * self.rng.range_f64(0.8, 1.2);
-        self.builder.build(
-            self.demand.url,
-            bot,
-            arrival,
-            work,
-            self.demand.beta,
-            self.demand.intensity,
-            self.demand.gamma,
-            true,
-        )
-    }
-}
-
-fn tool_name(tool: AttackTool) -> &'static str {
-    match tool {
-        AttackTool::HttpLoad { .. } => "http-load",
-        AttackTool::ApacheBench { .. } => "ab",
+        self.inner.blocked_seen()
     }
 }
 
 impl TrafficSource for FloodSource {
     fn next_request(&mut self, now: SimTime) -> Option<Request> {
-        if now >= self.stop {
-            return None;
-        }
-        match self.tool {
-            AttackTool::HttpLoad { rate } => {
-                if self.clock < now.max(self.start) {
-                    self.clock = now.max(self.start);
-                }
-                let gap = self.rng.exp(rate);
-                self.clock += SimDuration::from_secs_f64(gap.max(1e-9));
-                if self.clock >= self.stop {
-                    return None;
-                }
-                Some(self.build(self.clock))
-            }
-            AttackTool::ApacheBench { concurrency } => {
-                if self.outstanding >= concurrency {
-                    return None; // dormant until a completion feeds back
-                }
-                self.outstanding += 1;
-                let arrival = now.max(self.start);
-                if arrival >= self.stop {
-                    return None;
-                }
-                Some(self.build(arrival))
-            }
-        }
+        self.inner.next_request(now)
     }
 
     fn label(&self) -> &str {
-        &self.label
+        self.inner.label()
     }
 
-    fn feedback(&mut self, _now: SimTime, event: SourceEvent) {
-        match event {
-            SourceEvent::Completed(_) => {
-                if matches!(self.tool, AttackTool::ApacheBench { .. }) {
-                    self.outstanding = self.outstanding.saturating_sub(1);
-                }
-            }
-            SourceEvent::Blocked(_) => {
-                self.blocked_seen += 1;
-                if matches!(self.tool, AttackTool::ApacheBench { .. }) {
-                    // A blocked request also frees an AB slot.
-                    self.outstanding = self.outstanding.saturating_sub(1);
-                }
-            }
-            SourceEvent::Rejected(_) => {
-                // A 503 is not a detection; it only frees an AB slot.
-                if matches!(self.tool, AttackTool::ApacheBench { .. }) {
-                    self.outstanding = self.outstanding.saturating_sub(1);
-                }
-            }
-        }
+    fn feedback(&mut self, now: SimTime, event: SourceEvent) {
+        self.inner.feedback(now, event);
     }
 
     fn is_attacker(&self) -> bool {
@@ -278,17 +119,11 @@ impl TrafficSource for FloodSource {
 /// power-hungry) while the *name* the defense keys on keeps moving.
 ///
 /// The rotation schedule draws from the dedicated
-/// [`streams::ATTACK_ROTATION`] stream, independent of the arrival /
-/// work-jitter stream, so changing the rotation period never perturbs
-/// the arrival process of an otherwise-identical run.
+/// [`simcore::rng::streams::ATTACK_ROTATION`] stream, independent of the
+/// arrival / work-jitter stream, so changing the rotation period never
+/// perturbs the arrival process of an otherwise-identical run.
 pub struct RotatingFloodSource {
-    flood: FloodSource,
-    url_base: u16,
-    url_space: u16,
-    period: SimDuration,
-    next_rotation: SimTime,
-    rotation_rng: SimRng,
-    rotations: u64,
+    inner: AttackVector,
 }
 
 impl RotatingFloodSource {
@@ -309,49 +144,36 @@ impl RotatingFloodSource {
         stop: SimTime,
         seed: u64,
     ) -> Self {
-        assert!(url_space >= 1, "need at least one URL to rotate over");
-        assert!(
-            url_base.checked_add(url_space).is_some(),
-            "URL range overflows u16"
-        );
-        assert!(!period.is_zero(), "rotation period must be positive");
-        let mut flood = FloodSource::against_service(
-            AttackTool::HttpLoad { rate },
-            victim,
-            source_base,
-            bots,
-            id_base,
-            start,
-            stop,
-            seed,
-        );
-        flood.label = format!("rotating-{}", flood.label);
-        let mut rotation_rng = RngFactory::new(seed).stream(streams::ATTACK_ROTATION);
-        flood.demand.url = UrlId(url_base + rotation_rng.below(url_space as u64) as u16);
         RotatingFloodSource {
-            flood,
-            url_base,
-            url_space,
-            period,
-            next_rotation: start + period,
-            rotation_rng,
-            rotations: 0,
+            inner: AttackVector::against_service(
+                AttackTool::HttpLoad { rate },
+                victim,
+                source_base,
+                bots,
+                id_base,
+                start,
+                stop,
+                seed,
+            )
+            .with_rotation(url_base, url_space, period, seed),
         }
     }
 
     /// The URL range the attacker rotates over.
     pub fn url_range(&self) -> std::ops::Range<u16> {
-        self.url_base..self.url_base + self.url_space
+        self.inner
+            .url_range()
+            .expect("rotating source always has a URL range")
     }
 
     /// The URL currently being flooded.
     pub fn current_url(&self) -> UrlId {
-        self.flood.demand.url
+        self.inner.current_url()
     }
 
     /// Completed rotations so far.
     pub fn rotations(&self) -> u64 {
-        self.rotations
+        self.inner.moves()
     }
 
     /// Ground-truth `(url, intensity)` profile of *every* URL this
@@ -359,40 +181,21 @@ impl RotatingFloodSource {
     /// deliberately unrealistic — it is the "impossible knowledge"
     /// oracle upper bound the online profiler is measured against.
     pub fn oracle_profiles(&self) -> Vec<(UrlId, f64)> {
-        self.url_range()
-            .map(|u| (UrlId(u), self.flood.demand.intensity))
-            .collect()
-    }
-
-    fn rotate(&mut self) {
-        let mut pick = self.url_base + self.rotation_rng.below(self.url_space as u64) as u16;
-        // With more than one URL available, never "rotate" in place.
-        while self.url_space > 1 && UrlId(pick) == self.flood.demand.url {
-            pick = self.url_base + self.rotation_rng.below(self.url_space as u64) as u16;
-        }
-        self.flood.demand.url = UrlId(pick);
-        self.rotations += 1;
+        self.inner.oracle_profiles()
     }
 }
 
 impl TrafficSource for RotatingFloodSource {
     fn next_request(&mut self, now: SimTime) -> Option<Request> {
-        // Rotate on the generated arrival clock (simulated time), not on
-        // how often the driver polls this source.
-        let t = now.max(self.flood.clock);
-        while t >= self.next_rotation {
-            self.rotate();
-            self.next_rotation += self.period;
-        }
-        self.flood.next_request(now)
+        self.inner.next_request(now)
     }
 
     fn label(&self) -> &str {
-        self.flood.label()
+        self.inner.label()
     }
 
     fn feedback(&mut self, now: SimTime, event: SourceEvent) {
-        self.flood.feedback(now, event);
+        self.inner.feedback(now, event);
     }
 
     fn is_attacker(&self) -> bool {
@@ -413,18 +216,11 @@ impl TrafficSource for RotatingFloodSource {
 /// mitigation.
 ///
 /// The retarget schedule draws from the dedicated
-/// [`streams::ATTACK_FOCUS`] stream, independent of the arrival /
-/// work-jitter stream, so re-aiming more or less often never perturbs
-/// the arrival process of an otherwise-identical run.
+/// [`simcore::rng::streams::ATTACK_FOCUS`] stream, independent of the
+/// arrival / work-jitter stream, so re-aiming more or less often never
+/// perturbs the arrival process of an otherwise-identical run.
 pub struct ConcentratingFloodSource {
-    flood: FloodSource,
-    racks: usize,
-    url_base: u16,
-    target: usize,
-    period: SimDuration,
-    next_retarget: SimTime,
-    focus_rng: SimRng,
-    retargets: u64,
+    inner: AttackVector,
 }
 
 impl ConcentratingFloodSource {
@@ -446,96 +242,60 @@ impl ConcentratingFloodSource {
         stop: SimTime,
         seed: u64,
     ) -> Self {
-        assert!(racks >= 1, "need at least one rack to aim at");
-        assert!(
-            url_base.checked_add(racks as u16).is_some(),
-            "URL range overflows u16"
-        );
-        assert!(!period.is_zero(), "retarget period must be positive");
-        let mut flood = FloodSource::against_service(
-            AttackTool::HttpLoad { rate },
-            victim,
-            source_base,
-            bots,
-            id_base,
-            start,
-            stop,
-            seed,
-        );
-        flood.label = format!("concentrating-{}", flood.label);
-        let mut focus_rng = RngFactory::new(seed).stream(streams::ATTACK_FOCUS);
-        let target = focus_rng.below(racks as u64) as usize;
-        let mut src = ConcentratingFloodSource {
-            flood,
-            racks,
-            url_base,
-            target,
-            period,
-            next_retarget: start + period,
-            focus_rng,
-            retargets: 0,
-        };
-        src.flood.demand.url = src.url_for(src.target);
-        src
+        ConcentratingFloodSource {
+            inner: AttackVector::against_service(
+                AttackTool::HttpLoad { rate },
+                victim,
+                source_base,
+                bots,
+                id_base,
+                start,
+                stop,
+                seed,
+            )
+            .with_concentration(racks, url_base, period, seed),
+        }
     }
 
     /// The URL homed on `rack`: the one member of `rack`'s congruence
     /// class within the attacker's URL range.
     pub fn url_for(&self, rack: usize) -> UrlId {
-        let base = self.url_base as usize;
-        let offset = (self.racks - base % self.racks + rack) % self.racks;
-        UrlId((base + offset) as u16)
+        self.inner
+            .url_for(rack)
+            .expect("concentrating source always has a rack range")
     }
 
     /// The rack currently under fire.
     pub fn target_rack(&self) -> usize {
-        self.target
+        self.inner
+            .target_rack()
+            .expect("concentrating source always has a target")
     }
 
     /// Completed retargets so far.
     pub fn retargets(&self) -> u64 {
-        self.retargets
+        self.inner.moves()
     }
 
     /// Ground-truth `(url, intensity)` profile of every URL this
     /// attacker may ever flood (one per rack) — the oracle upper bound
     /// for defenses, as with [`RotatingFloodSource::oracle_profiles`].
     pub fn oracle_profiles(&self) -> Vec<(UrlId, f64)> {
-        (0..self.racks)
-            .map(|r| (self.url_for(r), self.flood.demand.intensity))
-            .collect()
-    }
-
-    fn retarget(&mut self) {
-        let mut pick = self.focus_rng.below(self.racks as u64) as usize;
-        // With more than one rack available, never re-aim in place.
-        while self.racks > 1 && pick == self.target {
-            pick = self.focus_rng.below(self.racks as u64) as usize;
-        }
-        self.target = pick;
-        self.flood.demand.url = self.url_for(pick);
-        self.retargets += 1;
+        self.inner.oracle_profiles()
     }
 }
 
 impl TrafficSource for ConcentratingFloodSource {
     fn next_request(&mut self, now: SimTime) -> Option<Request> {
-        // Re-aim on the generated arrival clock (simulated time), not on
-        // how often the driver polls this source.
-        let t = now.max(self.flood.clock);
-        while t >= self.next_retarget {
-            self.retarget();
-            self.next_retarget += self.period;
-        }
-        self.flood.next_request(now)
+        self.inner.next_request(now)
     }
 
     fn label(&self) -> &str {
-        self.flood.label()
+        self.inner.label()
     }
 
     fn feedback(&mut self, now: SimTime, event: SourceEvent) {
-        self.flood.feedback(now, event);
+        self.inner.feedback(now, event);
     }
 
     fn is_attacker(&self) -> bool {
@@ -546,6 +306,7 @@ impl TrafficSource for ConcentratingFloodSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::request::SourceId;
 
     fn s(x: u64) -> SimTime {
         SimTime::from_secs(x)

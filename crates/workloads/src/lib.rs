@@ -26,6 +26,9 @@
 //!   protocol.
 //! * [`scenario`] — a composable [`ScenarioBuilder`] assembling standard
 //!   populations with automatic id-space / address-pool bookkeeping.
+//! * [`vector`] — the composable [`AttackVector`] algebra: base flood ⊗
+//!   envelope ⊗ source plan ⊗ resource profile ⊗ target plan; the flood
+//!   structs in [`attacker`] are thin facades over it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,13 +42,15 @@ pub mod normal;
 pub mod scenario;
 pub mod service;
 pub mod source;
+pub mod vector;
 
 pub use alibaba::{AlibabaTraceConfig, UtilizationTrace};
 pub use attacker::{AttackTool, ConcentratingFloodSource, FloodSource, RotatingFloodSource};
+pub use vector::{AttackVector, AttackVectorSpec, Envelope, ResourceProfile, SourcePlan, TargetPlan};
 pub use dope::{DopeAttacker, DopeConfig, DopePhase};
 pub use fanout::MergedSources;
 pub use floods::{FloodKind, FloodLayer};
 pub use normal::NormalUsers;
-pub use scenario::ScenarioBuilder;
+pub use scenario::{ScenarioBuilder, SeedPin};
 pub use service::{ServiceKind, ServiceMix, ServiceProfile};
 pub use source::{SourceEvent, TrafficSource};

@@ -15,6 +15,7 @@ use crate::floods::FloodKind;
 use crate::normal::NormalUsers;
 use crate::service::{ServiceKind, ServiceMix};
 use crate::source::TrafficSource;
+use crate::vector::AttackVectorSpec;
 use simcore::SimTime;
 
 /// One ingredient of a scenario.
@@ -30,8 +31,8 @@ enum Ingredient {
         tool: AttackTool,
         victim: ServiceKind,
         bots: u32,
-        start_s: u64,
-        stop_s: Option<u64>,
+        start: SimTime,
+        stop: Option<SimTime>,
     },
     Flood {
         kind: FloodKind,
@@ -44,6 +45,39 @@ enum Ingredient {
         config: DopeConfig,
         start_s: u64,
     },
+    Vector {
+        spec: AttackVectorSpec,
+        start: SimTime,
+        stop: Option<SimTime>,
+    },
+}
+
+/// How a pinned ingredient derives its RNG seed from the run seed
+/// passed to [`ScenarioBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedPin {
+    /// The default placement: `seed ^ ((index + 1) · φ64)` — disjoint
+    /// streams per ingredient without caller bookkeeping.
+    #[default]
+    Derived,
+    /// The run seed verbatim (legacy builders that predate the derived
+    /// placement and whose byte-exact output tests depend on).
+    Raw,
+    /// The run seed xor a fixed constant (legacy `seed ^ 0x5EED`-style
+    /// stream separation).
+    Xor(u64),
+}
+
+/// Placement overrides for one ingredient: any field left `None` keeps
+/// the automatic index-derived value. Pins exist so the historical
+/// hand-rolled builders (`antidope::testutil`, the bench scenarios)
+/// could collapse onto this one assembly path without moving a single
+/// byte of any golden report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Pin {
+    addr_base: Option<u32>,
+    id_base: Option<u64>,
+    seed: SeedPin,
 }
 
 /// Builds deterministic source populations.
@@ -65,7 +99,7 @@ enum Ingredient {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
-    ingredients: Vec<Ingredient>,
+    ingredients: Vec<(Ingredient, Pin)>,
 }
 
 impl Default for ScenarioBuilder {
@@ -82,89 +116,136 @@ impl ScenarioBuilder {
         }
     }
 
+    fn push(mut self, ing: Ingredient) -> Self {
+        self.ingredients.push((ing, Pin::default()));
+        self
+    }
+
+    /// Pin the most recently added ingredient to an explicit placement:
+    /// client-address base, request-id base, and seed derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing has been added yet.
+    pub fn pinned(mut self, addr_base: u32, id_base: u64, seed: SeedPin) -> Self {
+        let (_, pin) = self
+            .ingredients
+            .last_mut()
+            .expect("pinned() needs an ingredient to pin");
+        *pin = Pin {
+            addr_base: Some(addr_base),
+            id_base: Some(id_base),
+            seed,
+        };
+        self
+    }
+
     /// Add the standard AliOS background population.
-    pub fn with_normal_users(mut self, peak_rate: f64, clients: u32) -> Self {
-        self.ingredients.push(Ingredient::Normal {
+    pub fn with_normal_users(self, peak_rate: f64, clients: u32) -> Self {
+        self.push(Ingredient::Normal {
             peak_rate,
             clients,
             mix: ServiceMix::alios_normal(),
             trace: None,
-        });
-        self
+        })
     }
 
     /// Add a normal population with an explicit mix and utilization
     /// trace (e.g. one loaded from the real Alibaba CSV).
     pub fn with_normal_traced(
-        mut self,
+        self,
         peak_rate: f64,
         clients: u32,
         mix: ServiceMix,
         trace: UtilizationTrace,
     ) -> Self {
-        self.ingredients.push(Ingredient::Normal {
+        self.push(Ingredient::Normal {
             peak_rate,
             clients,
             mix,
             trace: Some(trace),
-        });
-        self
+        })
     }
 
     /// Add an attack-tool flood on a service kernel from `start_s` to
     /// the horizon.
     pub fn with_attack(
-        mut self,
+        self,
         tool: AttackTool,
         victim: ServiceKind,
         bots: u32,
         start_s: u64,
     ) -> Self {
-        self.ingredients.push(Ingredient::ServiceAttack {
+        self.push(Ingredient::ServiceAttack {
             tool,
             victim,
             bots,
-            start_s,
-            stop_s: None,
-        });
-        self
+            start: SimTime::from_secs(start_s),
+            stop: None,
+        })
     }
 
     /// Add a time-bounded attack (for switching scenarios).
     pub fn with_attack_window(
-        mut self,
+        self,
         tool: AttackTool,
         victim: ServiceKind,
         bots: u32,
         start_s: u64,
         stop_s: u64,
     ) -> Self {
-        self.ingredients.push(Ingredient::ServiceAttack {
+        self.push(Ingredient::ServiceAttack {
             tool,
             victim,
             bots,
-            start_s,
-            stop_s: Some(stop_s),
-        });
-        self
+            start: SimTime::from_secs(start_s),
+            stop: Some(SimTime::from_secs(stop_s)),
+        })
+    }
+
+    /// Add an attack-tool flood over an explicit sub-second window
+    /// (`None` stop runs to the horizon).
+    pub fn with_attack_spanning(
+        self,
+        tool: AttackTool,
+        victim: ServiceKind,
+        bots: u32,
+        start: SimTime,
+        stop: Option<SimTime>,
+    ) -> Self {
+        self.push(Ingredient::ServiceAttack {
+            tool,
+            victim,
+            bots,
+            start,
+            stop,
+        })
     }
 
     /// Add a layered flood (Fig 3 taxonomy).
-    pub fn with_flood(mut self, kind: FloodKind, rate: f64, bots: u32, start_s: u64) -> Self {
-        self.ingredients.push(Ingredient::Flood {
+    pub fn with_flood(self, kind: FloodKind, rate: f64, bots: u32, start_s: u64) -> Self {
+        self.push(Ingredient::Flood {
             kind,
             rate,
             bots,
             start_s,
             stop_s: None,
-        });
-        self
+        })
     }
 
     /// Add the adaptive Fig-12 DOPE attacker.
-    pub fn with_dope(mut self, config: DopeConfig, start_s: u64) -> Self {
-        self.ingredients.push(Ingredient::Dope { config, start_s });
-        self
+    pub fn with_dope(self, config: DopeConfig, start_s: u64) -> Self {
+        self.push(Ingredient::Dope { config, start_s })
+    }
+
+    /// Add a composed [`AttackVectorSpec`] (envelope × sources ×
+    /// resources × target), active from `start_s` to the horizon.
+    pub fn with_vector(self, spec: AttackVectorSpec, start_s: u64) -> Self {
+        self.push(Ingredient::Vector {
+            spec,
+            start: SimTime::from_secs(start_s),
+            stop: None,
+        })
     }
 
     /// Number of ingredients added so far.
@@ -177,14 +258,42 @@ impl ScenarioBuilder {
         self.ingredients.is_empty()
     }
 
+    /// The `(addr_base, id_base, sub_seed)` placement ingredient
+    /// `index` will build with under run seed `seed` — the automatic
+    /// index-derived values unless the ingredient was [`pinned`].
+    ///
+    /// Exposed so harnesses that replay an ingredient out-of-band (e.g.
+    /// the co-evolution grid rebuilding an attack vector to read its
+    /// move plan) can mint a byte-identical copy.
+    ///
+    /// [`pinned`]: ScenarioBuilder::pinned
+    pub fn placement(&self, index: usize, seed: u64) -> (u32, u64, u64) {
+        let pin = self
+            .ingredients
+            .get(index)
+            .map(|(_, p)| *p)
+            .unwrap_or_default();
+        let addr_base = pin
+            .addr_base
+            .unwrap_or(1_000 + index as u32 * 10_000);
+        let id_base = pin.id_base.unwrap_or((index as u64 + 1) << 40);
+        let sub_seed = match pin.seed {
+            SeedPin::Derived => seed ^ ((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            SeedPin::Raw => seed,
+            SeedPin::Xor(x) => seed ^ x,
+        };
+        (addr_base, id_base, sub_seed)
+    }
+
     /// Materialize fresh sources for one run. Each ingredient gets a
     /// disjoint request-id space (`index << 40`) and client-address
-    /// range, and a seed derived from `(seed, index)`.
+    /// range, and a seed derived from `(seed, index)` — unless pinned
+    /// to an explicit placement (see [`ScenarioBuilder::pinned`]).
     pub fn build(&self, seed: u64, horizon: SimTime) -> Vec<Box<dyn TrafficSource>> {
         self.ingredients
             .iter()
             .enumerate()
-            .map(|(i, ing)| self.build_one(i, ing, seed, horizon))
+            .map(|(i, (ing, _))| self.build_one(i, ing, seed, horizon))
             .collect()
     }
 
@@ -195,9 +304,7 @@ impl ScenarioBuilder {
         seed: u64,
         horizon: SimTime,
     ) -> Box<dyn TrafficSource> {
-        let id_base = (index as u64 + 1) << 40;
-        let addr_base = 1_000 + index as u32 * 10_000;
-        let sub_seed = seed ^ ((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (addr_base, id_base, sub_seed) = self.placement(index, seed);
         match ing {
             Ingredient::Normal {
                 peak_rate,
@@ -223,20 +330,17 @@ impl ScenarioBuilder {
                 tool,
                 victim,
                 bots,
-                start_s,
-                stop_s,
+                start,
+                stop,
             } => {
-                let stop = stop_s
-                    .map(SimTime::from_secs)
-                    .unwrap_or(horizon)
-                    .min(horizon);
+                let stop = stop.unwrap_or(horizon).min(horizon);
                 Box::new(FloodSource::against_service(
                     *tool,
                     *victim,
                     addr_base,
                     *bots,
                     id_base,
-                    SimTime::from_secs(*start_s),
+                    *start,
                     stop,
                     sub_seed,
                 ))
@@ -271,6 +375,10 @@ impl ScenarioBuilder {
                 horizon,
                 sub_seed,
             )),
+            Ingredient::Vector { spec, start, stop } => {
+                let stop = stop.unwrap_or(horizon).min(horizon);
+                Box::new(spec.build(addr_base, id_base, *start, stop, sub_seed))
+            }
         }
     }
 }
